@@ -1,0 +1,500 @@
+//! Nogood learning strategies (§3 and §4 of the paper).
+//!
+//! At a *deadend* — every domain value of the agent's variable violates
+//! some higher nogood — the agent may learn a new nogood:
+//!
+//! * [`Learning::Resolvent`] — the paper's contribution (§3.1): for each
+//!   domain value pick one violated higher nogood (smallest, ties broken
+//!   by highest priority), union the picks, and strip the own variable.
+//! * [`Learning::Mcs`] — mcs-based learning (§4.1): seed with the
+//!   resolvent, then shrink it to a minimal conflict set by metered
+//!   deletion probing (the paper: "test whether a subset of the nogood is
+//!   a conflict set or not from larger subsets to smaller subsets").
+//! * [`Learning::None`] — no nogood is produced; the deadend is broken by
+//!   the priority raise alone (§4.1), which costs the AWC its
+//!   completeness.
+//!
+//! Size-bounded learning (§4.2, `kthRslv`) is a *recording* policy, not a
+//! generation policy — see [`crate::AwcConfig::record_bound`].
+
+use discsp_core::{AgentView, Domain, Nogood, NogoodStore, Value, VariableId};
+use serde::{Deserialize, Serialize};
+
+/// Which nogood a deadended agent generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Learning {
+    /// Resolvent-based learning (§3.1) — the paper's method.
+    #[default]
+    Resolvent,
+    /// Mcs-based learning (§4.1): resolvent seed minimized to a minimal
+    /// conflict set by deletion probing, every probe metered as nogood
+    /// checks.
+    Mcs,
+    /// No learning (§4.1): deadends are broken by priority raises alone.
+    None,
+}
+
+impl Learning {
+    /// Short name used in reports (`Rslv`, `Mcs`, `No`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Learning::Resolvent => "Rslv",
+            Learning::Mcs => "Mcs",
+            Learning::None => "No",
+        }
+    }
+}
+
+/// Everything a learning strategy may consult at a deadend.
+///
+/// `violated_per_value[d]` holds store indices of the *higher* nogoods
+/// violated under the agent view with the own variable set to value `d`;
+/// the deadend condition is that none of these lists is empty.
+#[derive(Debug)]
+pub struct Deadend<'a> {
+    /// The deadended variable.
+    pub var: VariableId,
+    /// Its domain.
+    pub domain: Domain,
+    /// The owner's current view.
+    pub view: &'a AgentView,
+    /// The owner's nogood store (evaluations through it are metered).
+    pub store: &'a NogoodStore,
+    /// Violated higher nogoods per domain value (store indices).
+    pub violated_per_value: &'a [Vec<usize>],
+}
+
+impl Learning {
+    /// Produces the learned nogood for this deadend, or `None` under
+    /// [`Learning::None`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if some domain value has no violated higher nogood — then
+    /// the agent is not at a deadend and must not learn.
+    pub fn learn(self, deadend: &Deadend<'_>) -> Option<Nogood> {
+        match self {
+            Learning::None => None,
+            Learning::Resolvent => Some(resolvent(deadend)),
+            Learning::Mcs => Some(minimize_conflict_set(deadend, resolvent(deadend))),
+        }
+    }
+}
+
+/// Builds the resolvent nogood (§3.1).
+///
+/// For each domain value, selects among the violated higher nogoods the
+/// smallest one, breaking ties toward the one whose priority (the rank of
+/// its lowest-ranked foreign variable) is highest; remaining ties keep the
+/// earliest-recorded nogood. The result is the union of the selections
+/// with every element of the own variable removed.
+///
+/// Selection itself performs no further nogood checks — the violated sets
+/// were metered when the deadend was detected, matching the "reduced
+/// computational cost" the paper claims for this method.
+///
+/// # Panics
+///
+/// Panics if some domain value has no violated higher nogood.
+pub fn resolvent(deadend: &Deadend<'_>) -> Nogood {
+    let union = resolvent_selections(deadend)
+        .into_iter()
+        .flat_map(|(_, selected)| {
+            selected
+                .elems()
+                .iter()
+                .copied()
+                .filter(|e| e.var != deadend.var)
+                .collect::<Vec<_>>()
+        });
+    // Elements agree with the single current view, so no conflicts arise.
+    Nogood::new(union)
+}
+
+/// The per-value selections behind [`resolvent`]: for each domain value,
+/// the violated higher nogood chosen to represent it (smallest, then
+/// highest-priority). Exposed so harnesses can display the derivation —
+/// the paper's Figure 1 walk-through is regenerated from this.
+///
+/// # Panics
+///
+/// Panics if some domain value has no violated higher nogood.
+pub fn resolvent_selections(deadend: &Deadend<'_>) -> Vec<(Value, Nogood)> {
+    deadend
+        .domain
+        .iter()
+        .map(|value| {
+            let candidates = &deadend.violated_per_value[value.index()];
+            assert!(
+                !candidates.is_empty(),
+                "value {value} of {} is not prohibited: not a deadend",
+                deadend.var
+            );
+            let selected = candidates
+                .iter()
+                .map(|&i| deadend.store.get(i).expect("stale store index"))
+                .min_by(|a, b| {
+                    a.len().cmp(&b.len()).then_with(|| {
+                        let ra = deadend.view.nogood_rank(a, deadend.var);
+                        let rb = deadend.view.nogood_rank(b, deadend.var);
+                        // Higher rank preferred: reverse the comparison. A
+                        // `None` rank (own-variable-only nogood) is the
+                        // strongest pick — it prohibits unconditionally.
+                        match (ra, rb) {
+                            (None, None) => std::cmp::Ordering::Equal,
+                            (None, Some(_)) => std::cmp::Ordering::Less,
+                            (Some(_), None) => std::cmp::Ordering::Greater,
+                            (Some(ra), Some(rb)) => rb.cmp(&ra),
+                        }
+                    })
+                })
+                .expect("candidate list is nonempty");
+            (value, selected.clone())
+        })
+        .collect()
+}
+
+/// Shrinks `seed` to a *minimum* conflict set (§4.1's mcs-based
+/// learning): "make a nogood with the resolvent-based learning and test
+/// whether a subset of the nogood is a conflict set or not from larger
+/// subsets to smaller subsets."
+///
+/// A subset `S` of the view is a *conflict set* when every domain value
+/// of the deadend variable is prohibited by some recorded nogood lying
+/// entirely inside `S ∪ {var}`. The property is monotone (supersets of a
+/// conflict set are conflict sets), so scanning sizes downward and
+/// stopping at the first size with no conflicting subset yields a
+/// minimum-cardinality conflict set within the seed. Every nogood
+/// evaluation during probing is metered through the store, which is
+/// exactly why this method's `maxcck` runs high in Tables 1–3.
+pub fn minimize_conflict_set(deadend: &Deadend<'_>, seed: Nogood) -> Nogood {
+    let mut best = seed.clone();
+    for size in (1..seed.len()).rev() {
+        // Subsets are always drawn from the full seed: a smaller conflict
+        // set need not nest inside the one found at the previous level.
+        match smallest_level_hit(deadend, &seed, size) {
+            Some(found) => best = found,
+            None => break,
+        }
+    }
+    best
+}
+
+/// Scans all `size`-element subsets of `seed` (lexicographically) and
+/// returns the first conflict set found.
+fn smallest_level_hit(deadend: &Deadend<'_>, seed: &Nogood, size: usize) -> Option<Nogood> {
+    let elems = seed.elems();
+    let k = elems.len();
+    debug_assert!(size < k);
+    // Standard combination enumeration over element indices.
+    let mut indices: Vec<usize> = (0..size).collect();
+    loop {
+        let candidate = Nogood::new(indices.iter().map(|&i| elems[i]));
+        if is_conflict_set(deadend, &candidate) {
+            return Some(candidate);
+        }
+        // Advance to the next combination.
+        let mut pos = size;
+        loop {
+            if pos == 0 {
+                return None;
+            }
+            pos -= 1;
+            if indices[pos] != pos + k - size {
+                break;
+            }
+        }
+        indices[pos] += 1;
+        for i in (pos + 1)..size {
+            indices[i] = indices[i - 1] + 1;
+        }
+    }
+}
+
+/// Metered test of the conflict-set property for a candidate subset.
+///
+/// Deliberately exhaustive — every stored nogood is evaluated for every
+/// domain value, with no early exit. The check *counts* are the paper's
+/// cost model for mcs-based learning (its `maxcck` runs 2–4× the
+/// resolvent method's in Tables 1–3), and a short-circuiting scan would
+/// understate them.
+// The folds below intentionally avoid `any`/`all` short-circuiting so the
+// probe's check counts reflect a full scan — see the doc comment.
+#[allow(clippy::unnecessary_fold)]
+fn is_conflict_set(deadend: &Deadend<'_>, candidate: &Nogood) -> bool {
+    deadend
+        .domain
+        .iter()
+        .map(|value| {
+            let lookup = |var: VariableId| -> Option<Value> {
+                if var == deadend.var {
+                    Some(value)
+                } else {
+                    candidate.value_of(var)
+                }
+            };
+            deadend
+                .store
+                .iter()
+                .fold(false, |hit, ng| deadend.store.eval(ng, lookup) || hit)
+        })
+        .fold(true, |acc, prohibited| acc && prohibited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_core::{AgentId, Priority};
+
+    fn x(i: u32) -> VariableId {
+        VariableId::new(i)
+    }
+    fn v(i: u16) -> Value {
+        Value::new(i)
+    }
+
+    /// The paper's Figure 1, exactly: agent 5 colors x5 with r=0, y=1,
+    /// g=2. Neighbors x1..x4 with values r, y, g, r; priorities 5, 3, 4, 2
+    /// (x1 and x4 are pinned by the text: "their priorities are 5 and 2");
+    /// x5 at priority 0 so every constraint nogood is higher. The agent
+    /// holds the 12 arc nogoods plus the received nogood
+    /// ((x3,g)(x4,r)(x5,y)).
+    fn figure1() -> (AgentView, NogoodStore) {
+        let mut view = AgentView::new();
+        view.update(x(1), AgentId::new(1), v(0), Priority::new(5)); // x1 = r
+        view.update(x(2), AgentId::new(2), v(1), Priority::new(3)); // x2 = y
+        view.update(x(3), AgentId::new(3), v(2), Priority::new(4)); // x3 = g
+        view.update(x(4), AgentId::new(4), v(0), Priority::new(2)); // x4 = r
+
+        let mut store = NogoodStore::new();
+        for neighbor in 1..=4u32 {
+            for color in 0..3u16 {
+                store.insert(Nogood::of([(x(neighbor), v(color)), (x(5), v(color))]));
+            }
+        }
+        store.insert(Nogood::of([(x(3), v(2)), (x(4), v(0)), (x(5), v(1))]));
+        (view, store)
+    }
+
+    fn violated_higher_per_value(
+        view: &AgentView,
+        store: &NogoodStore,
+        var: VariableId,
+        domain: Domain,
+        own_priority: Priority,
+    ) -> Vec<Vec<usize>> {
+        let own_rank = discsp_core::Rank::new(var, own_priority);
+        domain
+            .iter()
+            .map(|value| {
+                let lookup = view.lookup_with(var, value);
+                (0..store.len())
+                    .filter(|&i| {
+                        let ng = store.get(i).unwrap();
+                        view.is_higher_nogood(ng, own_rank) && store.eval(ng, &lookup)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resolvent_matches_paper_figure1() {
+        let (view, store) = figure1();
+        let domain = Domain::new(3);
+        let violated = violated_higher_per_value(&view, &store, x(5), domain, Priority::ZERO);
+        // r is prohibited by two nogoods (x1 and x4 arcs), y by two (x2
+        // arc and the ternary received nogood), g by one (x3 arc).
+        assert_eq!(violated[0].len(), 2);
+        assert_eq!(violated[1].len(), 2);
+        assert_eq!(violated[2].len(), 1);
+
+        let deadend = Deadend {
+            var: x(5),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let learned = resolvent(&deadend);
+        // The paper derives ((x1,r)(x2,y)(x3,g)).
+        assert_eq!(
+            learned,
+            Nogood::of([(x(1), v(0)), (x(2), v(1)), (x(3), v(2))])
+        );
+    }
+
+    #[test]
+    fn resolvent_selection_performs_no_extra_checks() {
+        let (view, store) = figure1();
+        let domain = Domain::new(3);
+        let violated = violated_higher_per_value(&view, &store, x(5), domain, Priority::ZERO);
+        let before = store.checks();
+        let deadend = Deadend {
+            var: x(5),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let _ = resolvent(&deadend);
+        assert_eq!(store.checks(), before);
+    }
+
+    #[test]
+    fn mcs_is_subset_of_resolvent_and_costs_checks() {
+        let (view, store) = figure1();
+        let domain = Domain::new(3);
+        let violated = violated_higher_per_value(&view, &store, x(5), domain, Priority::ZERO);
+        let deadend = Deadend {
+            var: x(5),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let seed = resolvent(&deadend);
+        let before = store.checks();
+        let mcs = minimize_conflict_set(&deadend, seed.clone());
+        assert!(store.checks() > before, "probing must be metered");
+        assert!(mcs.is_subset_of(&seed));
+        // In Figure 1 the resolvent is already minimal: dropping any of
+        // x1/x2/x3 frees the corresponding color.
+        assert_eq!(mcs, seed);
+    }
+
+    #[test]
+    fn mcs_shrinks_when_a_smaller_conflict_set_exists() {
+        // x5 ∈ {0,1}; unary-style higher nogoods from x1 prohibit both
+        // values, while x2's nogood also prohibits value 0. Seeding the
+        // deletion probe with the full {x1, x2} union must shrink to
+        // {x1} alone.
+        let mut view = AgentView::new();
+        view.update(x(1), AgentId::new(1), v(0), Priority::new(5));
+        view.update(x(2), AgentId::new(2), v(0), Priority::new(4));
+        let mut store = NogoodStore::new();
+        store.insert(Nogood::of([(x(1), v(0)), (x(5), v(0))]));
+        store.insert(Nogood::of([(x(1), v(0)), (x(5), v(1))]));
+        store.insert(Nogood::of([(x(2), v(0)), (x(5), v(0))]));
+        let domain = Domain::new(2);
+        let violated = violated_higher_per_value(&view, &store, x(5), domain, Priority::ZERO);
+        let deadend = Deadend {
+            var: x(5),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let seed = Nogood::of([(x(1), v(0)), (x(2), v(0))]);
+        let mcs = minimize_conflict_set(&deadend, seed);
+        assert_eq!(mcs, Nogood::of([(x(1), v(0))]));
+    }
+
+    #[test]
+    fn smallest_nogood_selected_per_value() {
+        // Two nogoods prohibit value 0: a binary and a ternary. The
+        // binary must be chosen.
+        let mut view = AgentView::new();
+        view.update(x(1), AgentId::new(1), v(0), Priority::new(1));
+        view.update(x(2), AgentId::new(2), v(0), Priority::new(1));
+        view.update(x(3), AgentId::new(3), v(0), Priority::new(1));
+        let mut store = NogoodStore::new();
+        store.insert(Nogood::of([(x(1), v(0)), (x(2), v(0)), (x(9), v(0))]));
+        store.insert(Nogood::of([(x(3), v(0)), (x(9), v(0))]));
+        let domain = Domain::new(1);
+        let violated = vec![vec![0, 1]];
+        let deadend = Deadend {
+            var: x(9),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        assert_eq!(resolvent(&deadend), Nogood::of([(x(3), v(0))]));
+    }
+
+    #[test]
+    fn highest_priority_breaks_size_ties() {
+        // Both nogoods are binary; the one through the higher-priority
+        // variable must be selected — "we should notify the agent with
+        // such a variable as early as possible" (§3.1).
+        let mut view = AgentView::new();
+        view.update(x(1), AgentId::new(1), v(0), Priority::new(9));
+        view.update(x(2), AgentId::new(2), v(0), Priority::new(1));
+        let mut store = NogoodStore::new();
+        store.insert(Nogood::of([(x(2), v(0)), (x(9), v(0))]));
+        store.insert(Nogood::of([(x(1), v(0)), (x(9), v(0))]));
+        let domain = Domain::new(1);
+        let violated = vec![vec![0, 1]];
+        let deadend = Deadend {
+            var: x(9),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        assert_eq!(resolvent(&deadend), Nogood::of([(x(1), v(0))]));
+    }
+
+    #[test]
+    fn unary_prohibitions_resolve_to_empty_nogood() {
+        // Every value prohibited by an own-variable-only nogood: the
+        // resolvent is empty — proof of insolubility.
+        let view = AgentView::new();
+        let mut store = NogoodStore::new();
+        store.insert(Nogood::of([(x(0), v(0))]));
+        store.insert(Nogood::of([(x(0), v(1))]));
+        let domain = Domain::new(2);
+        let violated = vec![vec![0], vec![1]];
+        let deadend = Deadend {
+            var: x(0),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let learned = resolvent(&deadend);
+        assert!(learned.is_empty());
+    }
+
+    #[test]
+    fn no_learning_returns_none() {
+        let (view, store) = figure1();
+        let domain = Domain::new(3);
+        let violated = violated_higher_per_value(&view, &store, x(5), domain, Priority::ZERO);
+        let deadend = Deadend {
+            var: x(5),
+            domain,
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        assert_eq!(Learning::None.learn(&deadend), None);
+        assert!(Learning::Resolvent.learn(&deadend).is_some());
+        assert!(Learning::Mcs.learn(&deadend).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a deadend")]
+    fn learning_without_deadend_panics() {
+        let view = AgentView::new();
+        let store = NogoodStore::new();
+        let violated = vec![vec![]];
+        let deadend = Deadend {
+            var: x(0),
+            domain: Domain::new(1),
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let _ = resolvent(&deadend);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Learning::Resolvent.short_name(), "Rslv");
+        assert_eq!(Learning::Mcs.short_name(), "Mcs");
+        assert_eq!(Learning::None.short_name(), "No");
+        assert_eq!(Learning::default(), Learning::Resolvent);
+    }
+}

@@ -1,0 +1,92 @@
+//! The AWC message protocol.
+
+use std::fmt;
+
+use discsp_core::{AgentId, Nogood, Priority, Value, VariableId};
+use discsp_runtime::{Classify, MessageClass};
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged by AWC agents (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AwcMessage {
+    /// `ok?` — announces the sender's current value and priority for its
+    /// variable.
+    Ok {
+        /// The announced variable.
+        var: VariableId,
+        /// Its current value.
+        value: Value,
+        /// Its current priority.
+        priority: Priority,
+    },
+    /// `nogood` — carries a learned nogood to an agent whose variable
+    /// appears in it. `owners` maps each variable in the nogood to its
+    /// owning agent so the recipient can request values of variables it
+    /// has never heard of.
+    Nogood {
+        /// The learned nogood.
+        nogood: Nogood,
+        /// Owner of each variable in the nogood.
+        owners: Vec<(VariableId, AgentId)>,
+    },
+    /// Asks the recipient to announce its variable's value to the sender
+    /// (and keep announcing it from now on). Sent when a received nogood
+    /// mentions an unknown variable (§2.2).
+    RequestValue,
+}
+
+impl Classify for AwcMessage {
+    fn class(&self) -> MessageClass {
+        match self {
+            AwcMessage::Ok { .. } => MessageClass::Ok,
+            AwcMessage::Nogood { .. } => MessageClass::Nogood,
+            AwcMessage::RequestValue => MessageClass::Other,
+        }
+    }
+}
+
+impl fmt::Display for AwcMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AwcMessage::Ok {
+                var,
+                value,
+                priority,
+            } => write!(f, "ok?({var}={value}@{priority})"),
+            AwcMessage::Nogood { nogood, .. } => write!(f, "nogood({nogood})"),
+            AwcMessage::RequestValue => write!(f, "request-value"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let ok = AwcMessage::Ok {
+            var: VariableId::new(0),
+            value: Value::new(1),
+            priority: Priority::ZERO,
+        };
+        assert_eq!(ok.class(), MessageClass::Ok);
+        let ng = AwcMessage::Nogood {
+            nogood: Nogood::empty(),
+            owners: vec![],
+        };
+        assert_eq!(ng.class(), MessageClass::Nogood);
+        assert_eq!(AwcMessage::RequestValue.class(), MessageClass::Other);
+    }
+
+    #[test]
+    fn display_forms() {
+        let ok = AwcMessage::Ok {
+            var: VariableId::new(2),
+            value: Value::new(1),
+            priority: Priority::new(3),
+        };
+        assert_eq!(ok.to_string(), "ok?(x2=1@3)");
+        assert_eq!(AwcMessage::RequestValue.to_string(), "request-value");
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the learning invariants on randomly
+//! generated deadend scenarios.
+
+use discsp_awc::{minimize_conflict_set, resolvent, Deadend};
+use discsp_core::{
+    AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Rank, Value, VariableId,
+};
+use proptest::prelude::*;
+
+const OWN: u32 = 0;
+
+/// A randomly generated, guaranteed deadend: the view covers variables
+/// 1..=k, the store holds one violated higher nogood per domain value
+/// plus assorted extra nogoods (violated or not).
+#[derive(Debug, Clone)]
+struct Scenario {
+    view_values: Vec<u16>,                      // value of variable i+1
+    domain: u16,                                // own domain size (2..=3)
+    per_value_foreign: Vec<Vec<u32>>,           // foreign vars of the forced nogood per value
+    extra: Vec<(Vec<(u32, u16)>, Option<u16>)>, // extra nogoods: foreign elems + optional own value
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2u16..=3, 3usize..8).prop_flat_map(|(domain, k)| {
+        let view_values = proptest::collection::vec(0u16..3, k);
+        let forced = proptest::collection::vec(
+            proptest::collection::btree_set(1u32..=(k as u32), 1..=3.min(k)),
+            domain as usize,
+        );
+        let extra = proptest::collection::vec(
+            (
+                proptest::collection::btree_map(1u32..=(k as u32), 0u16..3, 1..=2),
+                proptest::option::of(0u16..domain),
+            ),
+            0..6,
+        );
+        (view_values, forced, extra).prop_map(move |(view_values, forced, extra)| Scenario {
+            view_values,
+            domain,
+            per_value_foreign: forced
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            extra: extra
+                .into_iter()
+                .map(|(m, own)| (m.into_iter().collect(), own))
+                .collect(),
+        })
+    })
+}
+
+fn build(scenario: &Scenario) -> (AgentView, NogoodStore, Vec<Vec<usize>>) {
+    let own = VariableId::new(OWN);
+    let mut view = AgentView::new();
+    for (i, &value) in scenario.view_values.iter().enumerate() {
+        let var = VariableId::new(i as u32 + 1);
+        view.update(
+            var,
+            AgentId::new(i as u32 + 1),
+            Value::new(value),
+            Priority::new(1), // all foreign vars outrank the own var (prio 0)
+        );
+    }
+    let mut store = NogoodStore::new();
+    // Forced violated nogood per own value: foreign elements taken from
+    // the view (so they match), own element = the value.
+    for (d, foreign) in scenario.per_value_foreign.iter().enumerate() {
+        let mut elems: Vec<(VariableId, Value)> = foreign
+            .iter()
+            .map(|&v| {
+                (
+                    VariableId::new(v),
+                    Value::new(scenario.view_values[(v - 1) as usize]),
+                )
+            })
+            .collect();
+        elems.push((own, Value::new(d as u16)));
+        store.insert(Nogood::of(elems));
+    }
+    // Extra nogoods with arbitrary values (violated or not).
+    for (foreign, own_value) in &scenario.extra {
+        let mut elems: Vec<(VariableId, Value)> = foreign
+            .iter()
+            .map(|&(v, value)| (VariableId::new(v), Value::new(value)))
+            .collect();
+        if let Some(d) = own_value {
+            elems.push((own, Value::new(*d)));
+        }
+        store.insert(Nogood::of(elems));
+    }
+
+    let own_rank = Rank::new(own, Priority::ZERO);
+    let violated: Vec<Vec<usize>> = (0..scenario.domain)
+        .map(|d| {
+            let lookup = view.lookup_with(own, Value::new(d));
+            (0..store.len())
+                .filter(|&i| {
+                    let ng = store.get(i).unwrap();
+                    view.is_higher_nogood(ng, own_rank) && store.eval(ng, &lookup)
+                })
+                .collect()
+        })
+        .collect();
+    (view, store, violated)
+}
+
+/// Independent conflict-set checker (no shared code with the library).
+fn is_conflict_set_brute(store: &NogoodStore, candidate: &Nogood, domain: u16) -> bool {
+    (0..domain).all(|d| {
+        store.iter().any(|ng| {
+            ng.elems().iter().all(|e| {
+                if e.var == VariableId::new(OWN) {
+                    e.value == Value::new(d)
+                } else {
+                    candidate.value_of(e.var) == Some(e.value)
+                }
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn resolvent_invariants(scenario in arb_scenario()) {
+        let (view, store, violated) = build(&scenario);
+        // The construction guarantees a deadend.
+        prop_assert!(violated.iter().all(|v| !v.is_empty()));
+        let deadend = Deadend {
+            var: VariableId::new(OWN),
+            domain: Domain::new(scenario.domain),
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let learned = resolvent(&deadend);
+        // Never mentions the own variable.
+        prop_assert!(!learned.contains_var(VariableId::new(OWN)));
+        // Every element matches the current view.
+        for e in learned.elems() {
+            prop_assert_eq!(view.value_of(e.var), Some(e.value));
+        }
+        // The resolvent is a conflict set: under it, every own value is
+        // prohibited by some recorded nogood.
+        prop_assert!(is_conflict_set_brute(&store, &learned, scenario.domain));
+    }
+
+    #[test]
+    fn mcs_invariants(scenario in arb_scenario()) {
+        let (view, store, violated) = build(&scenario);
+        let deadend = Deadend {
+            var: VariableId::new(OWN),
+            domain: Domain::new(scenario.domain),
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let seed = resolvent(&deadend);
+        let mcs = minimize_conflict_set(&deadend, seed.clone());
+        // The mcs is a subset of the seed and still a conflict set.
+        prop_assert!(mcs.is_subset_of(&seed));
+        prop_assert!(is_conflict_set_brute(&store, &mcs, scenario.domain));
+        // Minimum cardinality within the seed: brute-force all subsets
+        // of the seed strictly smaller than the mcs (seeds are tiny).
+        let elems = seed.elems();
+        let n = elems.len();
+        prop_assume!(n <= 10);
+        for mask in 0u32..(1 << n) {
+            let size = mask.count_ones() as usize;
+            if size >= mcs.len() {
+                continue;
+            }
+            let subset = Nogood::new(
+                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| elems[i]),
+            );
+            prop_assert!(
+                !is_conflict_set_brute(&store, &subset, scenario.domain),
+                "subset {subset} smaller than the mcs {mcs} is also a conflict set"
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Micro-benchmark: mcs-based learning's subset search (§4.1).
+//!
+//! The paper: "finding such nogoods by the mcs-based learning is
+//! computationally expensive." This bench measures the larger-to-smaller
+//! subset probe against seed size and store size (DESIGN.md ablation 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discsp_awc::{minimize_conflict_set, resolvent, Deadend};
+use discsp_core::{AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Value, VariableId};
+
+/// A deadend whose resolvent has exactly `seed_size` elements: one
+/// unary-style prohibition per domain value routed through disjoint
+/// foreign variables, padded with extra recorded nogoods.
+fn deadend_fixture(seed_size: usize, padding: usize) -> (AgentView, NogoodStore, Vec<Vec<usize>>) {
+    assert!(seed_size >= 2);
+    let own = VariableId::new(0);
+    let mut view = AgentView::new();
+    for v in 1..=(seed_size as u32 + padding as u32) {
+        view.update(
+            VariableId::new(v),
+            AgentId::new(v),
+            Value::new(0),
+            Priority::new(v as u64),
+        );
+    }
+    let mut store = NogoodStore::new();
+    let mut violated = vec![Vec::new(); 2];
+    // Value 0 prohibited by a nogood over the first half of the seed
+    // variables; value 1 by the second half.
+    let half = seed_size / 2;
+    let first: Vec<_> = (1..=half as u32)
+        .map(|v| (VariableId::new(v), Value::new(0)))
+        .chain([(own, Value::new(0))])
+        .collect();
+    store.insert(Nogood::of(first));
+    violated[0].push(store.len() - 1);
+    let second: Vec<_> = ((half as u32 + 1)..=(seed_size as u32))
+        .map(|v| (VariableId::new(v), Value::new(0)))
+        .chain([(own, Value::new(1))])
+        .collect();
+    store.insert(Nogood::of(second));
+    violated[1].push(store.len() - 1);
+    // Padding: nogoods that are never violated but must be scanned.
+    for p in 0..padding as u32 {
+        let v = seed_size as u32 + 1 + p;
+        store.insert(Nogood::of([
+            (VariableId::new(v), Value::new(1)),
+            (own, Value::new(0)),
+        ]));
+    }
+    (view, store, violated)
+}
+
+fn bench_mcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcs_subset_search");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &seed_size in &[2usize, 4, 6, 8] {
+        let (view, store, violated) = deadend_fixture(seed_size, 128);
+        let deadend = Deadend {
+            var: VariableId::new(0),
+            domain: Domain::new(2),
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        let seed = resolvent(&deadend);
+        assert_eq!(seed.len(), seed_size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(seed_size),
+            &(deadend, seed),
+            |bench, (deadend, seed)| {
+                bench.iter(|| minimize_conflict_set(std::hint::black_box(deadend), seed.clone()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcs);
+criterion_main!(benches);

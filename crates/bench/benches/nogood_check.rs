@@ -1,0 +1,65 @@
+//! Micro-benchmark: nogood evaluation cost — the `maxcck` unit.
+//!
+//! Measures single-nogood evaluation and full-store violation scans
+//! against store size; the ablation DESIGN.md calls out (check *counts*
+//! are representation-independent; wall-time is what this measures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discsp_core::{Nogood, NogoodStore, Value, VariableId};
+use discsp_runtime::SplitMix64;
+
+fn random_store(nogoods: usize, vars: u32, seed: u64) -> NogoodStore {
+    let mut rng = SplitMix64::new(seed);
+    let mut store = NogoodStore::new();
+    while store.len() < nogoods {
+        let a = rng.next_below(vars as u64) as u32;
+        let b = rng.next_below(vars as u64) as u32;
+        if a == b {
+            continue;
+        }
+        let va = Value::new(rng.next_below(3) as u16);
+        let vb = Value::new(rng.next_below(3) as u16);
+        store.insert(Nogood::of([
+            (VariableId::new(a), va),
+            (VariableId::new(b), vb),
+        ]));
+    }
+    store
+}
+
+fn bench_single_eval(c: &mut Criterion) {
+    let ternary = Nogood::of([
+        (VariableId::new(0), Value::new(0)),
+        (VariableId::new(1), Value::new(1)),
+        (VariableId::new(2), Value::new(2)),
+    ]);
+    c.bench_function("nogood_eval_ternary_violated", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(&ternary).is_violated_by(|var| Some(Value::new(var.raw() as u16)))
+        })
+    });
+    c.bench_function("nogood_eval_ternary_first_mismatch", |bench| {
+        bench.iter(|| std::hint::black_box(&ternary).is_violated_by(|_| Some(Value::new(9))))
+    });
+}
+
+fn bench_store_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_violation_scan");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &size in &[16usize, 128, 1024] {
+        let store = random_store(size, 64, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &store, |bench, store| {
+            bench.iter(|| {
+                store
+                    .violated(|var| Some(Value::new((var.raw() % 3) as u16)))
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_eval, bench_store_scan);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Micro-benchmark: resolvent construction (§3.1).
+//!
+//! The paper claims resolvent selection adds *no* nogood checks beyond
+//! deadend detection; this bench quantifies its wall-time, and ablates
+//! the smallest-then-highest selection policy against a naive
+//! first-violated pick (DESIGN.md ablation 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discsp_awc::{resolvent, Deadend};
+use discsp_core::{AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Value, VariableId};
+use discsp_runtime::SplitMix64;
+
+/// A synthetic deadend: `candidates` violated higher nogoods per value,
+/// mixing binary and ternary nogoods over a populated view.
+fn synthetic_deadend(candidates: usize, seed: u64) -> (AgentView, NogoodStore, Vec<Vec<usize>>) {
+    let own = VariableId::new(0);
+    let domain = Domain::new(3);
+    let mut rng = SplitMix64::new(seed);
+    let mut view = AgentView::new();
+    for v in 1..40u32 {
+        view.update(
+            VariableId::new(v),
+            AgentId::new(v),
+            Value::new(rng.next_below(3) as u16),
+            Priority::new(rng.next_below(10)),
+        );
+    }
+    let mut store = NogoodStore::new();
+    let mut violated = vec![Vec::new(); domain.size()];
+    for value in domain.iter() {
+        while violated[value.index()].len() < candidates {
+            let a = 1 + rng.next_below(39) as u32;
+            let b = 1 + rng.next_below(39) as u32;
+            if a == b {
+                continue;
+            }
+            let va = view.value_of(VariableId::new(a)).unwrap();
+            let elems = if rng.next_below(2) == 0 {
+                vec![(VariableId::new(a), va), (own, value)]
+            } else {
+                let vb = view.value_of(VariableId::new(b)).unwrap();
+                vec![
+                    (VariableId::new(a), va),
+                    (VariableId::new(b), vb),
+                    (own, value),
+                ]
+            };
+            let ng = Nogood::of(elems);
+            if store.insert(ng) {
+                violated[value.index()].push(store.len() - 1);
+            }
+        }
+    }
+    (view, store, violated)
+}
+
+/// The naive ablation: take the first violated nogood per value.
+fn first_found(deadend: &Deadend<'_>) -> Nogood {
+    let mut union = Vec::new();
+    for value in deadend.domain.iter() {
+        let &first = deadend.violated_per_value[value.index()]
+            .first()
+            .expect("deadend");
+        union.extend(
+            deadend
+                .store
+                .get(first)
+                .unwrap()
+                .elems()
+                .iter()
+                .copied()
+                .filter(|e| e.var != deadend.var),
+        );
+    }
+    Nogood::new(union)
+}
+
+fn bench_resolvent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolvent_construction");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &candidates in &[2usize, 8, 32] {
+        let (view, store, violated) = synthetic_deadend(candidates, 7);
+        let deadend = Deadend {
+            var: VariableId::new(0),
+            domain: Domain::new(3),
+            view: &view,
+            store: &store,
+            violated_per_value: &violated,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("smallest_highest", candidates),
+            &deadend,
+            |bench, deadend| bench.iter(|| resolvent(std::hint::black_box(deadend))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("first_found", candidates),
+            &deadend,
+            |bench, deadend| bench.iter(|| first_found(std::hint::black_box(deadend))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolvent);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Experiment configuration: the paper's benchmark families and trial
+//! protocol.
+
+use discsp_core::DistributedCsp;
+use discsp_probgen::{
+    cnf_to_discsp, coloring_to_discsp, paper_coloring, paper_one_sat3, paper_sat3,
+};
+use discsp_runtime::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// The three benchmark families of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Distributed 3-coloring, m = 2.7n (Tables 1, 5, 8).
+    Coloring,
+    /// Distributed 3SAT by 3SAT-GEN, m = 4.3n (Tables 2, 6, 9).
+    Sat,
+    /// Distributed 3SAT by 3ONESAT-GEN, m = 3.4n, unique solution
+    /// (Tables 3, 7, 10 and Figure 2).
+    OneSat,
+}
+
+impl Family {
+    /// The paper's abbreviation (`d3c`, `d3s`, `d3s1`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Family::Coloring => "d3c",
+            Family::Sat => "d3s",
+            Family::OneSat => "d3s1",
+        }
+    }
+
+    /// Long description.
+    pub fn title(self) -> &'static str {
+        match self {
+            Family::Coloring => "distributed 3-coloring problems",
+            Family::Sat => "distributed 3SAT problems by 3SAT-GEN",
+            Family::OneSat => "distributed 3SAT problems by 3ONESAT-GEN",
+        }
+    }
+
+    /// The problem sizes the paper reports for this family.
+    pub fn paper_sizes(self) -> &'static [u32] {
+        match self {
+            Family::Coloring => &[60, 90, 120, 150],
+            Family::Sat => &[50, 100, 150],
+            Family::OneSat => &[50, 100, 200],
+        }
+    }
+
+    /// Instances per size in the paper's protocol (10 / 25 / 4).
+    pub fn paper_instances(self) -> usize {
+        match self {
+            Family::Coloring => 10,
+            Family::Sat => 25,
+            Family::OneSat => 4,
+        }
+    }
+
+    /// Random initial-value sets per instance in the paper's protocol
+    /// (10 / 4 / 25) — always 100 trials per size.
+    pub fn paper_inits(self) -> usize {
+        match self {
+            Family::Coloring => 10,
+            Family::Sat => 4,
+            Family::OneSat => 25,
+        }
+    }
+
+    /// Generates instance `index` of size `n` under `master_seed`.
+    pub fn problem(self, n: u32, index: usize, master_seed: u64) -> DistributedCsp {
+        let seed = derive_seed(master_seed, self as u64 * 1000 + n as u64, index as u64);
+        match self {
+            Family::Coloring => coloring_to_discsp(&paper_coloring(n, seed))
+                .expect("generated coloring instances encode cleanly"),
+            Family::Sat => cnf_to_discsp(&paper_sat3(n, seed).cnf)
+                .expect("generated 3SAT instances encode cleanly"),
+            Family::OneSat => cnf_to_discsp(&paper_one_sat3(n, seed).cnf)
+                .expect("generated 3ONESAT instances encode cleanly"),
+        }
+    }
+
+    /// All three families.
+    pub fn all() -> [Family; 3] {
+        [Family::Coloring, Family::Sat, Family::OneSat]
+    }
+}
+
+/// The trial protocol: how many instances and initial-value sets to run,
+/// and under which seed and cycle limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Protocol {
+    /// Number of generated instances per size.
+    pub instances: usize,
+    /// Number of random initial-value sets per instance.
+    pub inits: usize,
+    /// Synchronous cycle limit (the paper: 10 000).
+    pub cycle_limit: u64,
+    /// Master seed from which instance and init seeds derive.
+    pub master_seed: u64,
+}
+
+impl Protocol {
+    /// The paper's exact protocol for `family` (100 trials per size).
+    pub fn paper(family: Family) -> Self {
+        Protocol {
+            instances: family.paper_instances(),
+            inits: family.paper_inits(),
+            cycle_limit: discsp_core::PAPER_CYCLE_LIMIT,
+            master_seed: 20000419, // ICDCS 2000 ran April 10–13, 2000
+        }
+    }
+
+    /// The paper's protocol scaled down by `scale` (each count rounded
+    /// up, so `scale = 0` still runs one trial).
+    pub fn scaled(family: Family, scale: f64) -> Self {
+        let paper = Protocol::paper(family);
+        let shrink =
+            |count: usize| -> usize { ((count as f64 * scale).ceil() as usize).clamp(1, count) };
+        Protocol {
+            instances: shrink(paper.instances),
+            inits: shrink(paper.inits),
+            ..paper
+        }
+    }
+
+    /// Total trials per table cell.
+    pub fn trials(&self) -> usize {
+        self.instances * self.inits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_protocols_give_100_trials() {
+        for family in Family::all() {
+            assert_eq!(Protocol::paper(family).trials(), 100, "{}", family.key());
+        }
+    }
+
+    #[test]
+    fn family_metadata() {
+        assert_eq!(Family::Coloring.key(), "d3c");
+        assert_eq!(Family::Sat.key(), "d3s");
+        assert_eq!(Family::OneSat.key(), "d3s1");
+        assert_eq!(Family::Coloring.paper_sizes(), &[60, 90, 120, 150]);
+        assert_eq!(Family::OneSat.paper_sizes(), &[50, 100, 200]);
+    }
+
+    #[test]
+    fn scaling_rounds_up_and_clamps() {
+        let p = Protocol::scaled(Family::Coloring, 0.05);
+        assert_eq!(p.instances, 1);
+        assert_eq!(p.inits, 1);
+        let p = Protocol::scaled(Family::Coloring, 0.31);
+        assert_eq!(p.instances, 4);
+        assert_eq!(p.inits, 4);
+        let p = Protocol::scaled(Family::Coloring, 5.0);
+        assert_eq!(p.instances, 10);
+        assert_eq!(p.inits, 10);
+    }
+
+    #[test]
+    fn problems_are_deterministic_per_index() {
+        let a = Family::Sat.problem(20, 0, 1);
+        let b = Family::Sat.problem(20, 0, 1);
+        assert_eq!(a, b);
+        let c = Family::Sat.problem(20, 1, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn problem_sizes_match_paper_ratios() {
+        let p = Family::Coloring.problem(30, 0, 1);
+        assert_eq!(p.num_vars(), 30);
+        assert_eq!(p.nogoods().len(), 81 * 3); // 2.7 × 30 arcs × 3 colors
+        let p = Family::Sat.problem(20, 0, 1);
+        assert_eq!(p.nogoods().len(), 86); // 4.3 × 20
+        let p = Family::OneSat.problem(20, 0, 1);
+        assert_eq!(p.nogoods().len(), 68); // 3.4 × 20
+    }
+}

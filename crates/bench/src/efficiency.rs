@@ -1,0 +1,156 @@
+//! Figure 2: estimated efficiency vs communication delay.
+//!
+//! §4.3: "We assume that one nogood check amounts to one computational
+//! time-unit and a communication delay between cycles amounts to the
+//! designated number of time-unit" — the total cost of an algorithm is
+//! then `cycle · delay + maxcck`. The AWC's line is flatter in `delay`
+//! than DB's (fewer cycles, more checks), so the two lines cross at a
+//! moderate delay; the paper reads ≈ 50 time-units off the figure for
+//! d3s1 n = 50 and quotes ≈ 210 (d3s n = 150) and ≈ 370 (d3c n = 150)
+//! in the text.
+
+use discsp_awc::AwcConfig;
+use discsp_dba::WeightMode;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Family, Protocol};
+use crate::tables::best_bound;
+use crate::trial::{run_cell_aggregate, Algorithm};
+
+/// One sampled point of the Figure 2 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Communication delay in time-units (one nogood check = one unit).
+    pub delay: u64,
+    /// AWC+kthRslv total time-units at this delay.
+    pub awc: f64,
+    /// DB total time-units at this delay.
+    pub db: f64,
+}
+
+/// The regenerated Figure 2 for one `(family, n)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyFigure {
+    /// Which family was measured.
+    pub family: &'static str,
+    /// Problem size.
+    pub n: u32,
+    /// The AWC variant used (`4thRslv` for the paper's figure).
+    pub awc_label: String,
+    /// Mean cycles and maxcck underlying the lines.
+    pub awc_cycles: f64,
+    /// AWC mean maxcck.
+    pub awc_maxcck: f64,
+    /// DB mean cycles.
+    pub db_cycles: f64,
+    /// DB mean maxcck.
+    pub db_maxcck: f64,
+    /// Sampled points.
+    pub points: Vec<EfficiencyPoint>,
+    /// The delay at which AWC becomes cheaper than DB, if any.
+    pub crossover: Option<f64>,
+}
+
+/// Regenerates the Figure 2 analysis for `(family, n)` at the given
+/// protocol scale, sampling delays `0..=max_delay` at `step`.
+pub fn efficiency_figure(
+    family: Family,
+    n: u32,
+    scale: f64,
+    max_delay: u64,
+    step: u64,
+) -> EfficiencyFigure {
+    let protocol = Protocol::scaled(family, scale);
+    let k = best_bound(family);
+    let awc = run_cell_aggregate(
+        family,
+        n,
+        Algorithm::Awc(AwcConfig::kth_resolvent(k)),
+        &protocol,
+    );
+    let db = run_cell_aggregate(family, n, Algorithm::Db(WeightMode::PerNogood), &protocol);
+
+    let points = (0..=max_delay)
+        .step_by(step.max(1) as usize)
+        .map(|delay| EfficiencyPoint {
+            delay,
+            awc: awc.mean_cycles * delay as f64 + awc.mean_maxcck,
+            db: db.mean_cycles * delay as f64 + db.mean_maxcck,
+        })
+        .collect();
+
+    // Lines cross where cycleₐ·d + maxcckₐ = cycle_b·d + maxcck_b.
+    let crossover = {
+        let cycle_gap = db.mean_cycles - awc.mean_cycles;
+        let check_gap = awc.mean_maxcck - db.mean_maxcck;
+        // AWC wins past the crossover only when it spends fewer cycles
+        // and more checks (the regime the paper analyzes).
+        if cycle_gap > 0.0 && check_gap > 0.0 {
+            Some(check_gap / cycle_gap)
+        } else {
+            None
+        }
+    };
+
+    EfficiencyFigure {
+        family: family.key(),
+        n,
+        awc_label: format!("AWC+{}", AwcConfig::kth_resolvent(k).label()),
+        awc_cycles: awc.mean_cycles,
+        awc_maxcck: awc.mean_maxcck,
+        db_cycles: db.mean_cycles,
+        db_maxcck: db.mean_maxcck,
+        points,
+        crossover,
+    }
+}
+
+/// The paper's Figure 2 instance: d3s1, n = 50, delays 0..500.
+pub fn figure2(scale: f64) -> EfficiencyFigure {
+    efficiency_figure(Family::OneSat, 50, scale, 500, 25)
+}
+
+/// The two extra crossover points quoted in the §4.3 text:
+/// d3s n = 150 (≈ 210) and d3c n = 150 (≈ 370).
+pub fn text_crossovers(scale: f64) -> Vec<EfficiencyFigure> {
+    vec![
+        efficiency_figure(Family::Sat, 150, scale, 500, 25),
+        efficiency_figure(Family::Coloring, 150, scale, 500, 25),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_formula() {
+        // Synthetic: AWC 100 cycles / 10 000 checks, DB 300 cycles /
+        // 2 000 checks → crossover at 8 000 / 200 = 40.
+        let fig = EfficiencyFigure {
+            family: "d3s1",
+            n: 50,
+            awc_label: "AWC+4thRslv".into(),
+            awc_cycles: 100.0,
+            awc_maxcck: 10_000.0,
+            db_cycles: 300.0,
+            db_maxcck: 2_000.0,
+            points: vec![],
+            crossover: Some(40.0),
+        };
+        let d = fig.crossover.unwrap();
+        let awc_at = fig.awc_cycles * d + fig.awc_maxcck;
+        let db_at = fig.db_cycles * d + fig.db_maxcck;
+        assert!((awc_at - db_at).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_scale_figure_runs() {
+        let fig = efficiency_figure(Family::OneSat, 20, 0.02, 100, 50);
+        assert_eq!(fig.points.len(), 3);
+        assert_eq!(fig.points[0].delay, 0);
+        // At zero delay the totals equal the maxcck means.
+        assert!((fig.points[0].awc - fig.awc_maxcck).abs() < 1e-9);
+        assert!((fig.points[0].db - fig.db_maxcck).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 1: the paper's worked example of resolvent-based learning.
+//!
+//! Agent 5 colors node `x5` (domain {red, yellow, green}) with neighbors
+//! `x1 = red @5`, `x2 = yellow @3`, `x3 = green @4`, `x4 = red @2`, the
+//! twelve arc nogoods, and a previously received nogood
+//! `((x3, g)(x4, r)(x5, y))`. The derivation must select the arcs through
+//! `x1` (priority tie-break), `x2` (size tie-break), and `x3`, yielding
+//! the new nogood `((x1, r)(x2, y)(x3, g))`.
+
+use discsp_awc::{resolvent, resolvent_selections, Deadend};
+use discsp_core::{
+    AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Rank, Value, ValueLabels, VariableId,
+};
+
+/// The reconstructed Figure 1 scenario.
+#[derive(Debug)]
+pub struct Figure1 {
+    /// Agent 5's view of x1..x4.
+    pub view: AgentView,
+    /// Agent 5's nogood store (12 arc nogoods + 1 received nogood).
+    pub store: NogoodStore,
+    /// Violated higher nogoods per color (store indices).
+    pub violated_per_value: Vec<Vec<usize>>,
+}
+
+/// Builds the scenario exactly as drawn in the paper.
+pub fn figure1_scenario() -> Figure1 {
+    let x = VariableId::new;
+    let v = Value::new;
+    let mut view = AgentView::new();
+    view.update(x(1), AgentId::new(1), v(0), Priority::new(5)); // x1 = r @5
+    view.update(x(2), AgentId::new(2), v(1), Priority::new(3)); // x2 = y @3
+    view.update(x(3), AgentId::new(3), v(2), Priority::new(4)); // x3 = g @4
+    view.update(x(4), AgentId::new(4), v(0), Priority::new(2)); // x4 = r @2
+
+    let mut store = NogoodStore::new();
+    for neighbor in 1..=4u32 {
+        for color in 0..3u16 {
+            store.insert(Nogood::of([(x(neighbor), v(color)), (x(5), v(color))]));
+        }
+    }
+    store.insert(Nogood::of([(x(3), v(2)), (x(4), v(0)), (x(5), v(1))]));
+
+    let own_rank = Rank::new(x(5), Priority::ZERO);
+    let violated_per_value = Domain::new(3)
+        .iter()
+        .map(|value| {
+            let lookup = view.lookup_with(x(5), value);
+            (0..store.len())
+                .filter(|&i| {
+                    let ng = store.get(i).expect("index in range");
+                    view.is_higher_nogood(ng, own_rank) && store.eval(ng, &lookup)
+                })
+                .collect()
+        })
+        .collect();
+
+    Figure1 {
+        view,
+        store,
+        violated_per_value,
+    }
+}
+
+/// Renders the full derivation as the text the `repro figure1` command
+/// prints, and returns the learned nogood.
+pub fn render_figure1() -> (String, Nogood) {
+    let scenario = figure1_scenario();
+    let colors = ValueLabels::colors3();
+    let deadend = Deadend {
+        var: VariableId::new(5),
+        domain: Domain::new(3),
+        view: &scenario.view,
+        store: &scenario.store,
+        violated_per_value: &scenario.violated_per_value,
+    };
+
+    let mut out = String::new();
+    out.push_str("Figure 1 — resolvent-based learning at agent 5 (x5, priority 0)\n");
+    out.push_str("view: x1=red@5  x2=yellow@3  x3=green@4  x4=red@2\n\n");
+    for (value, candidates) in deadend
+        .domain
+        .iter()
+        .zip(scenario.violated_per_value.iter())
+    {
+        out.push_str(&format!(
+            "value '{}' violates {} higher nogood(s):\n",
+            colors.label(value),
+            candidates.len()
+        ));
+        for &i in candidates {
+            out.push_str(&format!(
+                "    {}\n",
+                scenario.store.get(i).expect("in range")
+            ));
+        }
+    }
+    out.push('\n');
+    for (value, selected) in resolvent_selections(&deadend) {
+        out.push_str(&format!(
+            "selected for '{}': {}\n",
+            colors.label(value),
+            selected
+        ));
+    }
+    let learned = resolvent(&deadend);
+    out.push_str(&format!("\nnew nogood (union minus x5): {learned}\n"));
+    out.push_str("paper derives: ¬((x1=0) (x2=1) (x3=2))  — (x1,r)(x2,y)(x3,g)\n");
+    (out, learned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_matches_paper() {
+        let (text, learned) = render_figure1();
+        assert_eq!(
+            learned,
+            Nogood::of([
+                (VariableId::new(1), Value::new(0)),
+                (VariableId::new(2), Value::new(1)),
+                (VariableId::new(3), Value::new(2)),
+            ])
+        );
+        assert!(text.contains("selected for 'red'"));
+        assert!(text.contains("new nogood"));
+    }
+
+    #[test]
+    fn scenario_counts_match_paper_text() {
+        let scenario = figure1_scenario();
+        // "The value 'r' will violate ((x1,r)(x5,r)) and ((x4,r)(x5,r))".
+        assert_eq!(scenario.violated_per_value[0].len(), 2);
+        // "the value 'y' will violate ((x2,y)(x5,y)) and ((x3,g)(x4,r)(x5,y))".
+        assert_eq!(scenario.violated_per_value[1].len(), 2);
+        // "the value 'g' will violate ((x3,g)(x5,g)) alone".
+        assert_eq!(scenario.violated_per_value[2].len(), 1);
+        assert_eq!(scenario.store.len(), 13);
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduction harness for every table and figure of Hirayama & Yokoo,
+//! *The Effect of Nogood Learning in Distributed Constraint
+//! Satisfaction* (ICDCS 2000).
+//!
+//! * [`tables`] — Tables 1–10 (learning-method comparison, redundancy
+//!   study, size-bounded learning, AWC vs DB), plus two extension
+//!   studies (DB weight placement, ABT baseline);
+//! * [`efficiency`] — Figure 2's time-unit model and crossover analysis;
+//! * [`figure1`] — the worked resolvent derivation of Figure 1;
+//! * [`delay`] — an extension sweep over message-delivery delays (§5);
+//! * [`partition`] — an extension sweep over multi-variable-per-agent
+//!   partitions (§5);
+//! * [`report`] — text/CSV rendering;
+//! * [`config`] / [`trial`] — the benchmark families, the 100-trial
+//!   protocol (scalable via `--scale`), and the paired trial executor.
+//!
+//! Run everything with `cargo run -p discsp-bench --bin repro --release
+//! -- all --scale 0.1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod delay;
+pub mod efficiency;
+pub mod figure1;
+pub mod partition;
+pub mod report;
+pub mod tables;
+pub mod trial;
+
+pub use config::{Family, Protocol};
+pub use trial::Algorithm;

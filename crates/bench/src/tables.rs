@@ -1,0 +1,281 @@
+//! Regeneration of the paper's Tables 1–10.
+
+use discsp_awc::AwcConfig;
+use discsp_core::Aggregate;
+use discsp_dba::WeightMode;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Family, Protocol};
+use crate::trial::{run_cell, run_cell_aggregate, Algorithm};
+
+/// One row of a comparison table: `(n, algorithm) → cycle, maxcck, %`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Problem size.
+    pub n: u32,
+    /// Algorithm label as printed in the paper.
+    pub label: String,
+    /// Aggregated measurements.
+    pub agg: Aggregate,
+}
+
+/// A regenerated comparison table (Tables 1–3, 5–10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonTable {
+    /// Experiment id (`table1` … `table10`).
+    pub id: &'static str,
+    /// The paper's caption.
+    pub title: String,
+    /// Column header for the algorithm column (`learn` or `alg`).
+    pub algo_column: &'static str,
+    /// Rows in the paper's order (sizes outer, algorithms inner).
+    pub rows: Vec<Row>,
+}
+
+/// One row of Table 4: mean redundant nogood generation, rec vs norec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedundancyRow {
+    /// Family key (`d3c`, `d3s`, `d3s1`).
+    pub family: &'static str,
+    /// Problem size.
+    pub n: u32,
+    /// Mean redundant generations with recording (`Rslv/rec`).
+    pub rec: f64,
+    /// Mean redundant generations without recording (`Rslv/norec`).
+    pub norec: f64,
+}
+
+/// The regenerated Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedundancyTable {
+    /// Experiment id (`table4`).
+    pub id: &'static str,
+    /// The paper's caption.
+    pub title: String,
+    /// Rows grouped by family, then size.
+    pub rows: Vec<RedundancyRow>,
+}
+
+fn comparison(
+    id: &'static str,
+    family: Family,
+    algo_column: &'static str,
+    algorithms: &[Algorithm],
+    scale: f64,
+) -> ComparisonTable {
+    let protocol = Protocol::scaled(family, scale);
+    let mut rows = Vec::new();
+    for &n in family.paper_sizes() {
+        for algorithm in algorithms {
+            rows.push(Row {
+                n,
+                label: algorithm.label(),
+                agg: run_cell_aggregate(family, n, *algorithm, &protocol),
+            });
+        }
+    }
+    ComparisonTable {
+        id,
+        title: format!("{id}: {}", family.title()),
+        algo_column,
+        rows,
+    }
+}
+
+/// The three learning methods compared in Tables 1–3.
+pub fn learning_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Awc(AwcConfig::resolvent()),
+        Algorithm::Awc(AwcConfig::mcs()),
+        Algorithm::Awc(AwcConfig::no_learning()),
+    ]
+}
+
+/// Table 1: learning methods on distributed 3-coloring.
+pub fn table1(scale: f64) -> ComparisonTable {
+    comparison(
+        "table1",
+        Family::Coloring,
+        "learn",
+        &learning_algorithms(),
+        scale,
+    )
+}
+
+/// Table 2: learning methods on distributed 3SAT (3SAT-GEN).
+pub fn table2(scale: f64) -> ComparisonTable {
+    comparison(
+        "table2",
+        Family::Sat,
+        "learn",
+        &learning_algorithms(),
+        scale,
+    )
+}
+
+/// Table 3: learning methods on distributed 3SAT (3ONESAT-GEN).
+pub fn table3(scale: f64) -> ComparisonTable {
+    comparison(
+        "table3",
+        Family::OneSat,
+        "learn",
+        &learning_algorithms(),
+        scale,
+    )
+}
+
+/// Table 4: total redundant nogood generation, Rslv/rec vs Rslv/norec,
+/// across all three families.
+pub fn table4(scale: f64) -> RedundancyTable {
+    let mut rows = Vec::new();
+    for family in Family::all() {
+        let protocol = Protocol::scaled(family, scale);
+        for &n in family.paper_sizes() {
+            let rec = run_cell(family, n, Algorithm::Awc(AwcConfig::resolvent()), &protocol);
+            let norec = run_cell(
+                family,
+                n,
+                Algorithm::Awc(AwcConfig::resolvent_norec()),
+                &protocol,
+            );
+            rows.push(RedundancyRow {
+                family: family.key(),
+                n,
+                rec: Aggregate::from_metrics(rec.iter()).mean_redundant,
+                norec: Aggregate::from_metrics(norec.iter()).mean_redundant,
+            });
+        }
+    }
+    RedundancyTable {
+        id: "table4",
+        title: "table4: total redundant nogood generation (Rslv/rec vs Rslv/norec)".to_string(),
+        rows,
+    }
+}
+
+/// The size bounds the paper evaluates per family (Tables 5–7).
+pub fn size_bounds(family: Family) -> [usize; 2] {
+    match family {
+        Family::Coloring => [3, 4],
+        Family::Sat => [4, 5],
+        Family::OneSat => [4, 5],
+    }
+}
+
+fn size_bounded(id: &'static str, family: Family, scale: f64) -> ComparisonTable {
+    let [k1, k2] = size_bounds(family);
+    let algorithms = vec![
+        Algorithm::Awc(AwcConfig::resolvent()),
+        Algorithm::Awc(AwcConfig::kth_resolvent(k1)),
+        Algorithm::Awc(AwcConfig::kth_resolvent(k2)),
+    ];
+    comparison(id, family, "learn", &algorithms, scale)
+}
+
+/// Table 5: size-bounded resolvent learning on distributed 3-coloring.
+pub fn table5(scale: f64) -> ComparisonTable {
+    size_bounded("table5", Family::Coloring, scale)
+}
+
+/// Table 6: size-bounded resolvent learning on 3SAT (3SAT-GEN).
+pub fn table6(scale: f64) -> ComparisonTable {
+    size_bounded("table6", Family::Sat, scale)
+}
+
+/// Table 7: size-bounded resolvent learning on 3SAT (3ONESAT-GEN).
+pub fn table7(scale: f64) -> ComparisonTable {
+    size_bounded("table7", Family::OneSat, scale)
+}
+
+/// The most effective bound per family used in Tables 8–10 (§4.3):
+/// 3rdRslv for d3c, 5thRslv for d3s, 4thRslv for d3s1.
+pub fn best_bound(family: Family) -> usize {
+    match family {
+        Family::Coloring => 3,
+        Family::Sat => 5,
+        Family::OneSat => 4,
+    }
+}
+
+fn versus_db(id: &'static str, family: Family, scale: f64) -> ComparisonTable {
+    let k = best_bound(family);
+    let algorithms = vec![
+        Algorithm::Awc(AwcConfig::kth_resolvent(k)),
+        Algorithm::Db(WeightMode::PerNogood),
+    ];
+    comparison(id, family, "alg", &algorithms, scale)
+}
+
+/// Table 8: AWC+3rdRslv vs DB on distributed 3-coloring.
+pub fn table8(scale: f64) -> ComparisonTable {
+    versus_db("table8", Family::Coloring, scale)
+}
+
+/// Table 9: AWC+5thRslv vs DB on 3SAT (3SAT-GEN).
+pub fn table9(scale: f64) -> ComparisonTable {
+    versus_db("table9", Family::Sat, scale)
+}
+
+/// Table 10: AWC+4thRslv vs DB on 3SAT (3ONESAT-GEN).
+pub fn table10(scale: f64) -> ComparisonTable {
+    versus_db("table10", Family::OneSat, scale)
+}
+
+/// Extension (not in the paper): DB weight-placement ablation, per-nogood
+/// vs per-pair weights (footnote 7 claims per-nogood is better).
+pub fn db_weight_ablation(family: Family, scale: f64) -> ComparisonTable {
+    let algorithms = vec![
+        Algorithm::Db(WeightMode::PerNogood),
+        Algorithm::Db(WeightMode::PerPair),
+    ];
+    comparison("db-weights", family, "alg", &algorithms, scale)
+}
+
+/// Extension (not in the paper): ABT vs AWC+Rslv.
+///
+/// Runs at small sizes only: ABT learns whole agent views, so its nogood
+/// stores (and per-cycle check costs) blow up super-linearly — exactly
+/// the weakness of "free but ineffective" learning the paper's §1 uses to
+/// motivate resolvent-based learning. Paper-scale sizes are intractable
+/// for it.
+pub fn abt_comparison(family: Family, scale: f64) -> ComparisonTable {
+    let algorithms = [Algorithm::Awc(AwcConfig::resolvent()), Algorithm::Abt];
+    let protocol = Protocol::scaled(family, scale);
+    let mut rows = Vec::new();
+    for &n in &[15u32, 20, 25, 30] {
+        for algorithm in &algorithms {
+            rows.push(Row {
+                n,
+                label: algorithm.label(),
+                agg: run_cell_aggregate(family, n, *algorithm, &protocol),
+            });
+        }
+    }
+    ComparisonTable {
+        id: "abt",
+        title: format!("abt: AWC+Rslv vs ABT on {} (small sizes)", family.title()),
+        algo_column: "alg",
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_bounds_match_paper() {
+        assert_eq!(size_bounds(Family::Coloring), [3, 4]);
+        assert_eq!(size_bounds(Family::Sat), [4, 5]);
+        assert_eq!(size_bounds(Family::OneSat), [4, 5]);
+        assert_eq!(best_bound(Family::Coloring), 3);
+        assert_eq!(best_bound(Family::Sat), 5);
+        assert_eq!(best_bound(Family::OneSat), 4);
+    }
+
+    #[test]
+    fn learning_algorithm_labels_match_paper() {
+        let labels: Vec<String> = learning_algorithms().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, ["Rslv", "Mcs", "No"]);
+    }
+}

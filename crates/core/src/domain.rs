@@ -1,0 +1,154 @@
+//! Finite, discrete variable domains.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// The finite, ordered set of values a variable may take.
+///
+/// Domains in the paper's benchmarks are tiny (3 colors, 2 Boolean
+/// polarities), so a domain is represented as the dense range `0..size`.
+/// The iteration order is the deterministic value order used for all
+/// tie-breaking in the algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::{Domain, Value};
+///
+/// let d = Domain::new(3);
+/// assert_eq!(d.size(), 3);
+/// assert!(d.contains(Value::new(2)));
+/// assert!(!d.contains(Value::new(3)));
+/// let all: Vec<_> = d.iter().collect();
+/// assert_eq!(all, vec![Value::new(0), Value::new(1), Value::new(2)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Domain {
+    size: u16,
+}
+
+impl Domain {
+    /// A Boolean domain (`false`, `true`).
+    pub const BOOL: Domain = Domain { size: 2 };
+
+    /// Creates a domain with values `0..size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: a CSP variable always has at least one
+    /// candidate value.
+    pub fn new(size: u16) -> Self {
+        assert!(size > 0, "domain must contain at least one value");
+        Domain { size }
+    }
+
+    /// Number of values in the domain.
+    pub fn size(self) -> usize {
+        self.size as usize
+    }
+
+    /// Whether `value` belongs to this domain.
+    pub fn contains(self, value: Value) -> bool {
+        value.index() < self.size as usize
+    }
+
+    /// Iterates over the domain's values in the canonical order.
+    pub fn iter(self) -> DomainIter {
+        DomainIter {
+            next: 0,
+            size: self.size,
+        }
+    }
+
+    /// The first (lowest-index) value.
+    pub fn first(self) -> Value {
+        Value::new(0)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{0..{}}}", self.size)
+    }
+}
+
+impl IntoIterator for Domain {
+    type Item = Value;
+    type IntoIter = DomainIter;
+
+    fn into_iter(self) -> DomainIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`Domain`]'s values, produced by [`Domain::iter`].
+#[derive(Debug, Clone)]
+pub struct DomainIter {
+    next: u16,
+    size: u16,
+}
+
+impl Iterator for DomainIter {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.next < self.size {
+            let v = Value::new(self.next);
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.size - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for DomainIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_membership() {
+        let d = Domain::new(4);
+        assert_eq!(d.size(), 4);
+        assert!(d.contains(Value::new(0)));
+        assert!(d.contains(Value::new(3)));
+        assert!(!d.contains(Value::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_domain_rejected() {
+        let _ = Domain::new(0);
+    }
+
+    #[test]
+    fn iteration_is_ordered_and_sized() {
+        let d = Domain::new(3);
+        let it = d.iter();
+        assert_eq!(it.len(), 3);
+        let all: Vec<_> = d.into_iter().collect();
+        assert_eq!(all, vec![Value::new(0), Value::new(1), Value::new(2)]);
+    }
+
+    #[test]
+    fn bool_domain() {
+        assert_eq!(Domain::BOOL.size(), 2);
+        assert!(Domain::BOOL.contains(Value::TRUE));
+        assert_eq!(Domain::BOOL.first(), Value::FALSE);
+    }
+
+    #[test]
+    fn display_shows_range() {
+        assert_eq!(Domain::new(3).to_string(), "{0..3}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the problem model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{AgentId, VariableId};
+use crate::value::Value;
+
+/// Errors arising while building or validating problems and nogoods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A nogood was constructed with the same variable bound to two
+    /// different values.
+    ConflictingNogoodElements {
+        /// The variable that appeared twice.
+        var: VariableId,
+    },
+    /// A nogood or query referenced a variable the problem does not define.
+    UnknownVariable {
+        /// The offending variable.
+        var: VariableId,
+    },
+    /// An agent id outside the problem's agent set was referenced.
+    UnknownAgent {
+        /// The offending agent.
+        agent: AgentId,
+    },
+    /// A nogood prohibits a value outside the variable's domain.
+    ValueOutOfDomain {
+        /// The variable whose domain was exceeded.
+        var: VariableId,
+        /// The out-of-range value.
+        value: Value,
+    },
+    /// A problem was finalized with no variables.
+    EmptyProblem,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ConflictingNogoodElements { var } => {
+                write!(f, "nogood binds variable {var} to two different values")
+            }
+            CoreError::UnknownVariable { var } => {
+                write!(f, "variable {var} is not defined by the problem")
+            }
+            CoreError::UnknownAgent { agent } => {
+                write!(f, "agent {agent} is not part of the problem")
+            }
+            CoreError::ValueOutOfDomain { var, value } => {
+                write!(f, "value {value} is outside the domain of {var}")
+            }
+            CoreError::EmptyProblem => write!(f, "problem defines no variables"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let errors: Vec<CoreError> = vec![
+            CoreError::ConflictingNogoodElements {
+                var: VariableId::new(1),
+            },
+            CoreError::UnknownVariable {
+                var: VariableId::new(2),
+            },
+            CoreError::UnknownAgent {
+                agent: AgentId::new(3),
+            },
+            CoreError::ValueOutOfDomain {
+                var: VariableId::new(4),
+                value: Value::new(9),
+            },
+            CoreError::EmptyProblem,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Identifier newtypes for agents and variables.
+//!
+//! The paper's problems assign exactly one variable to each agent, but the
+//! model keeps the two identifier spaces distinct so that multi-variable
+//! extensions (Yokoo & Hirayama, ICMAS'98) stay representable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an agent participating in a distributed CSP.
+///
+/// Agents are numbered densely from zero; the paper's tie-breaking rules
+/// ("alphabetical order of ids") map onto the numeric order of these ids.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::AgentId;
+///
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert!(AgentId::new(1) < a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(u32);
+
+impl AgentId {
+    /// Creates an agent id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        AgentId(index)
+    }
+
+    /// Returns the dense index backing this id.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for AgentId {
+    fn from(index: u32) -> Self {
+        AgentId(index)
+    }
+}
+
+/// Identifier of a variable in a (distributed) CSP.
+///
+/// The ordering of `VariableId`s is the paper's "alphabetical order of
+/// variables' ids": a *smaller* id wins priority ties (see
+/// [`Rank`](crate::Rank)).
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::VariableId;
+///
+/// let x5 = VariableId::new(5);
+/// assert_eq!(x5.to_string(), "x5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VariableId(u32);
+
+impl VariableId {
+    /// Creates a variable id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        VariableId(index)
+    }
+
+    /// Returns the dense index backing this id.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VariableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for VariableId {
+    fn from(index: u32) -> Self {
+        VariableId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_id_roundtrip() {
+        let a = AgentId::new(7);
+        assert_eq!(a.index(), 7);
+        assert_eq!(a.raw(), 7);
+        assert_eq!(AgentId::from(7), a);
+        assert_eq!(a.to_string(), "a7");
+    }
+
+    #[test]
+    fn variable_id_roundtrip() {
+        let x = VariableId::new(42);
+        assert_eq!(x.index(), 42);
+        assert_eq!(x.raw(), 42);
+        assert_eq!(VariableId::from(42), x);
+        assert_eq!(x.to_string(), "x42");
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(VariableId::new(2) < VariableId::new(10));
+        assert!(AgentId::new(0) < AgentId::new(1));
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(VariableId::new(1), "one");
+        assert_eq!(m[&VariableId::new(1)], "one");
+    }
+}

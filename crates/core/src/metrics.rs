@@ -1,0 +1,245 @@
+//! Run metrics: the paper's `cycle` and `maxcck` measures plus supporting
+//! counters, and their aggregation over trials.
+//!
+//! §4 of the paper: "For each trial, we measure *cycle* (cycles consumed
+//! until a solution is found) and *maxcck* (sum of the maximal number of
+//! nogood checks performed by agents at each cycle)." Trials are cut off at
+//! 10 000 cycles and cut-off trials contribute their at-cutoff data.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::Assignment;
+
+/// The paper's cycle cutoff: trials beyond this many cycles are abandoned
+/// and measured as-is.
+pub const PAPER_CYCLE_LIMIT: u64 = 10_000;
+
+/// How a trial ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// A solution was reached.
+    Solved,
+    /// The cycle limit was hit first.
+    CutOff,
+    /// The empty nogood was derived: the instance is insoluble.
+    Insoluble,
+}
+
+impl Termination {
+    /// Whether the trial found a solution.
+    pub fn is_solved(self) -> bool {
+        matches!(self, Termination::Solved)
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Termination::Solved => "solved",
+            Termination::CutOff => "cut off",
+            Termination::Insoluble => "insoluble",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Measurements collected over one run of a distributed algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// How the run ended.
+    pub termination: Termination,
+    /// Cycles consumed (synchronous simulator steps).
+    pub cycles: u64,
+    /// Σ over cycles of the per-cycle maximum nogood checks by any agent.
+    pub maxcck: u64,
+    /// Total nogood checks summed over all agents and cycles.
+    pub total_checks: u64,
+    /// `ok?` messages sent.
+    pub ok_messages: u64,
+    /// `nogood` messages sent.
+    pub nogood_messages: u64,
+    /// Other messages sent (`improve`, add-link requests, …).
+    pub other_messages: u64,
+    /// Nogoods generated at deadends (before deduplication).
+    pub nogoods_generated: u64,
+    /// Generated nogoods identical to one the same agent generated before
+    /// (the Table 4 redundancy measure).
+    pub redundant_nogoods: u64,
+    /// The largest nogood generated during the run (0 when none).
+    pub largest_nogood: u64,
+}
+
+impl RunMetrics {
+    /// A zeroed metrics record with the given termination.
+    pub fn new(termination: Termination) -> Self {
+        RunMetrics {
+            termination,
+            cycles: 0,
+            maxcck: 0,
+            total_checks: 0,
+            ok_messages: 0,
+            nogood_messages: 0,
+            other_messages: 0,
+            nogoods_generated: 0,
+            redundant_nogoods: 0,
+            largest_nogood: 0,
+        }
+    }
+
+    /// Total messages of all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.ok_messages + self.nogood_messages + self.other_messages
+    }
+}
+
+/// The result of one trial: metrics plus the solution when one was found.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// The measurements.
+    pub metrics: RunMetrics,
+    /// The solution assignment, present iff `metrics.termination` is
+    /// [`Termination::Solved`].
+    pub solution: Option<Assignment>,
+}
+
+/// Aggregated measurements over a batch of trials — one row of the paper's
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Mean cycles (cut-off trials contribute the cutoff value, as in §4).
+    pub mean_cycles: f64,
+    /// Mean maxcck.
+    pub mean_maxcck: f64,
+    /// Percentage of trials solved within the cycle limit (the tables' `%`).
+    pub percent_solved: f64,
+    /// Mean redundant nogood generations (Table 4's measure).
+    pub mean_redundant: f64,
+    /// Mean total messages.
+    pub mean_messages: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a batch of per-trial metrics.
+    ///
+    /// Returns a zeroed aggregate when `metrics` is empty (mirrors the
+    /// paper's "-" entries for 0 %-solved rows, which still averaged over
+    /// zero solved trials).
+    pub fn from_metrics<'a, I>(metrics: I) -> Self
+    where
+        I: IntoIterator<Item = &'a RunMetrics>,
+    {
+        let mut trials = 0usize;
+        let mut cycles = 0u64;
+        let mut maxcck = 0u64;
+        let mut solved = 0usize;
+        let mut redundant = 0u64;
+        let mut messages = 0u64;
+        for m in metrics {
+            trials += 1;
+            cycles += m.cycles;
+            maxcck += m.maxcck;
+            redundant += m.redundant_nogoods;
+            messages += m.total_messages();
+            if m.termination.is_solved() {
+                solved += 1;
+            }
+        }
+        if trials == 0 {
+            return Aggregate {
+                trials: 0,
+                mean_cycles: 0.0,
+                mean_maxcck: 0.0,
+                percent_solved: 0.0,
+                mean_redundant: 0.0,
+                mean_messages: 0.0,
+            };
+        }
+        let n = trials as f64;
+        Aggregate {
+            trials,
+            mean_cycles: cycles as f64 / n,
+            mean_maxcck: maxcck as f64 / n,
+            percent_solved: 100.0 * solved as f64 / n,
+            mean_redundant: redundant as f64 / n,
+            mean_messages: messages as f64 / n,
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:.1}  maxcck {:.1}  {:.0}% ({} trials)",
+            self.mean_cycles, self.mean_maxcck, self.percent_solved, self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solved(cycles: u64, maxcck: u64) -> RunMetrics {
+        RunMetrics {
+            cycles,
+            maxcck,
+            ..RunMetrics::new(Termination::Solved)
+        }
+    }
+
+    #[test]
+    fn termination_predicates() {
+        assert!(Termination::Solved.is_solved());
+        assert!(!Termination::CutOff.is_solved());
+        assert!(!Termination::Insoluble.is_solved());
+        assert_eq!(Termination::CutOff.to_string(), "cut off");
+    }
+
+    #[test]
+    fn total_messages_sums_kinds() {
+        let mut m = RunMetrics::new(Termination::Solved);
+        m.ok_messages = 3;
+        m.nogood_messages = 2;
+        m.other_messages = 1;
+        assert_eq!(m.total_messages(), 6);
+    }
+
+    #[test]
+    fn aggregate_means_and_percent() {
+        let mut cut = RunMetrics::new(Termination::CutOff);
+        cut.cycles = PAPER_CYCLE_LIMIT;
+        cut.maxcck = 100;
+        let batch = [solved(100, 50), solved(200, 150), cut];
+        let agg = Aggregate::from_metrics(batch.iter());
+        assert_eq!(agg.trials, 3);
+        assert!((agg.mean_cycles - (100.0 + 200.0 + 10_000.0) / 3.0).abs() < 1e-9);
+        assert!((agg.mean_maxcck - 100.0).abs() < 1e-9);
+        assert!((agg.percent_solved - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_of_empty_batch_is_zero() {
+        let agg = Aggregate::from_metrics(std::iter::empty());
+        assert_eq!(agg.trials, 0);
+        assert_eq!(agg.mean_cycles, 0.0);
+        assert_eq!(agg.percent_solved, 0.0);
+    }
+
+    #[test]
+    fn aggregate_display_is_readable() {
+        let agg = Aggregate::from_metrics([solved(10, 20)].iter());
+        let text = agg.to_string();
+        assert!(text.contains("cycle 10.0"));
+        assert!(text.contains("100%"));
+    }
+
+    #[test]
+    fn paper_cycle_limit_constant() {
+        assert_eq!(PAPER_CYCLE_LIMIT, 10_000);
+    }
+}

@@ -1,0 +1,301 @@
+//! Nogoods — the constraint representation used throughout the paper.
+//!
+//! A *nogood* is a set of variable/value pairs stating that the combination
+//! is prohibited. Original problem constraints are given as nogoods, and
+//! learning adds new (logically implied) nogoods discovered at deadends.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::VarValue;
+use crate::error::CoreError;
+use crate::ids::VariableId;
+use crate::value::Value;
+
+/// A prohibited combination of variable/value pairs, stored in canonical
+/// (variable-id sorted, deduplicated) form.
+///
+/// Two nogoods are equal iff they prohibit the same combination, regardless
+/// of the order their elements were supplied in. The *empty* nogood
+/// prohibits the empty combination — i.e. it is violated by everything and
+/// proves the problem insoluble.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::{Nogood, Value, VariableId};
+///
+/// // "x1 and x5 must not both be red (value 0)."
+/// let ng = Nogood::of([(VariableId::new(5), Value::new(0)),
+///                      (VariableId::new(1), Value::new(0))]);
+/// assert_eq!(ng.len(), 2);
+/// assert!(ng.contains_var(VariableId::new(1)));
+/// assert_eq!(ng.value_of(VariableId::new(5)), Some(Value::new(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Nogood {
+    /// Elements sorted by variable id; at most one element per variable.
+    elems: Vec<VarValue>,
+}
+
+impl Nogood {
+    /// Creates a nogood from elements, canonicalizing their order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ConflictingNogoodElements`] if the same variable
+    /// appears twice with *different* values (such a "nogood" could never be
+    /// violated and is always a construction bug). Duplicate identical
+    /// elements are merged silently.
+    pub fn try_new<I>(elems: I) -> Result<Self, CoreError>
+    where
+        I: IntoIterator<Item = VarValue>,
+    {
+        let mut elems: Vec<VarValue> = elems.into_iter().collect();
+        elems.sort();
+        elems.dedup();
+        for pair in elems.windows(2) {
+            if pair[0].var == pair[1].var {
+                return Err(CoreError::ConflictingNogoodElements { var: pair[0].var });
+            }
+        }
+        Ok(Nogood { elems })
+    }
+
+    /// Creates a nogood from elements, canonicalizing their order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the same variable appears with two different values; use
+    /// [`Nogood::try_new`] to handle that case as an error.
+    pub fn new<I>(elems: I) -> Self
+    where
+        I: IntoIterator<Item = VarValue>,
+    {
+        Nogood::try_new(elems).expect("conflicting nogood elements")
+    }
+
+    /// Convenience constructor from `(variable, value)` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the same variable appears with two different values.
+    pub fn of<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (VariableId, Value)>,
+    {
+        Nogood::new(pairs.into_iter().map(VarValue::from))
+    }
+
+    /// The empty nogood, violated by every assignment (proof of
+    /// insolubility).
+    pub fn empty() -> Self {
+        Nogood { elems: Vec::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether this is the empty nogood.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The elements in canonical (variable-id) order.
+    pub fn elems(&self) -> &[VarValue] {
+        &self.elems
+    }
+
+    /// Whether `var` appears in this nogood.
+    pub fn contains_var(&self, var: VariableId) -> bool {
+        self.elems.binary_search_by_key(&var, |e| e.var).is_ok()
+    }
+
+    /// The value this nogood prohibits for `var`, if `var` appears.
+    pub fn value_of(&self, var: VariableId) -> Option<Value> {
+        self.elems
+            .binary_search_by_key(&var, |e| e.var)
+            .ok()
+            .map(|i| self.elems[i].value)
+    }
+
+    /// Iterates over the variables mentioned, in id order.
+    pub fn vars(&self) -> impl Iterator<Item = VariableId> + '_ {
+        self.elems.iter().map(|e| e.var)
+    }
+
+    /// Returns a copy with every element of `var` removed.
+    pub fn without_var(&self, var: VariableId) -> Nogood {
+        Nogood {
+            elems: self
+                .elems
+                .iter()
+                .copied()
+                .filter(|e| e.var != var)
+                .collect(),
+        }
+    }
+
+    /// Whether every element of `self` also appears in `other`.
+    pub fn is_subset_of(&self, other: &Nogood) -> bool {
+        self.elems
+            .iter()
+            .all(|e| other.value_of(e.var) == Some(e.value))
+    }
+
+    /// Evaluates this nogood against a partial assignment given as a lookup
+    /// function: the nogood is **violated** iff every element's variable is
+    /// assigned exactly the prohibited value.
+    ///
+    /// This is the single primitive the paper's `maxcck` metric counts; all
+    /// instrumented call sites route through
+    /// [`NogoodStore::eval`](crate::store::NogoodStore::eval) or meter the
+    /// call themselves.
+    pub fn is_violated_by<F>(&self, lookup: F) -> bool
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.elems.iter().all(|e| lookup(e.var) == Some(e.value))
+    }
+}
+
+impl fmt::Display for Nogood {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "¬(")?;
+        let mut first = true;
+        for e in &self.elems {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<VarValue> for Nogood {
+    /// Builds a nogood, panicking on conflicting elements; prefer
+    /// [`Nogood::try_new`] when the input is untrusted.
+    fn from_iter<I: IntoIterator<Item = VarValue>>(iter: I) -> Self {
+        Nogood::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> VariableId {
+        VariableId::new(i)
+    }
+    fn v(i: u16) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn canonical_order_and_equality() {
+        let a = Nogood::of([(x(5), v(0)), (x(1), v(2))]);
+        let b = Nogood::of([(x(1), v(2)), (x(5), v(0))]);
+        assert_eq!(a, b);
+        assert_eq!(a.elems()[0].var, x(1));
+    }
+
+    #[test]
+    fn duplicate_identical_elements_merge() {
+        let a = Nogood::of([(x(1), v(2)), (x(1), v(2))]);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_elements_rejected() {
+        let err =
+            Nogood::try_new([VarValue::new(x(1), v(0)), VarValue::new(x(1), v(1))]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ConflictingNogoodElements { var } if var == x(1)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting nogood elements")]
+    fn new_panics_on_conflict() {
+        let _ = Nogood::of([(x(1), v(0)), (x(1), v(1))]);
+    }
+
+    #[test]
+    fn empty_nogood_is_always_violated() {
+        let ng = Nogood::empty();
+        assert!(ng.is_empty());
+        assert!(ng.is_violated_by(|_| None));
+    }
+
+    #[test]
+    fn violation_requires_all_elements_assigned() {
+        let ng = Nogood::of([(x(0), v(1)), (x(1), v(0))]);
+        // Fully matching assignment: violated.
+        assert!(ng.is_violated_by(|var| match var.index() {
+            0 => Some(v(1)),
+            1 => Some(v(0)),
+            _ => None,
+        }));
+        // One variable unassigned: not violated.
+        assert!(!ng.is_violated_by(|var| match var.index() {
+            0 => Some(v(1)),
+            _ => None,
+        }));
+        // One variable with a different value: not violated.
+        assert!(!ng.is_violated_by(|var| match var.index() {
+            0 => Some(v(1)),
+            1 => Some(v(1)),
+            _ => None,
+        }));
+    }
+
+    #[test]
+    fn membership_and_lookup() {
+        let ng = Nogood::of([(x(2), v(1)), (x(7), v(0))]);
+        assert!(ng.contains_var(x(2)));
+        assert!(!ng.contains_var(x(3)));
+        assert_eq!(ng.value_of(x(7)), Some(v(0)));
+        assert_eq!(ng.value_of(x(3)), None);
+        assert_eq!(ng.vars().collect::<Vec<_>>(), vec![x(2), x(7)]);
+    }
+
+    #[test]
+    fn without_var_strips_all_occurrences() {
+        let ng = Nogood::of([(x(2), v(1)), (x(7), v(0))]);
+        let stripped = ng.without_var(x(2));
+        assert_eq!(stripped, Nogood::of([(x(7), v(0))]));
+        // Removing an absent variable is a no-op copy.
+        assert_eq!(ng.without_var(x(9)), ng);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = Nogood::of([(x(1), v(0))]);
+        let big = Nogood::of([(x(1), v(0)), (x(2), v(1))]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(Nogood::empty().is_subset_of(&small));
+        // Same variable, different value: not a subset.
+        let other = Nogood::of([(x(1), v(1))]);
+        assert!(!other.is_subset_of(&big));
+    }
+
+    #[test]
+    fn display_form() {
+        let ng = Nogood::of([(x(5), v(0)), (x(1), v(2))]);
+        assert_eq!(ng.to_string(), "¬((x1=2) (x5=0))");
+        assert_eq!(Nogood::empty().to_string(), "¬()");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ng: Nogood = [VarValue::new(x(3), v(1))].into_iter().collect();
+        assert_eq!(ng.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Variable priorities and the paper's total rank order.
+//!
+//! In the AWC every variable carries a non-negative integer *priority*,
+//! initially zero, raised when its agent breaks a deadend. All comparisons
+//! between variables use the total order of [`Rank`]: higher priority wins,
+//! and ties are broken "due to the alphabetical order of variables' ids"
+//! (§2.2) — i.e. the variable with the *smaller* id outranks the other.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::VariableId;
+
+/// A variable's priority value.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::Priority;
+///
+/// let p = Priority::ZERO;
+/// assert_eq!(p.raise_to(Priority::new(4)).get(), 4);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Priority(u64);
+
+impl Priority {
+    /// The initial priority of every variable.
+    pub const ZERO: Priority = Priority(0);
+
+    /// Creates a priority from a raw value.
+    pub const fn new(value: u64) -> Self {
+        Priority(value)
+    }
+
+    /// Returns the raw priority value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the priority one above this one.
+    pub const fn next(self) -> Priority {
+        Priority(self.0 + 1)
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn raise_to(self, other: Priority) -> Priority {
+        Priority(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Priority {
+    fn from(value: u64) -> Self {
+        Priority(value)
+    }
+}
+
+/// The total order on variables induced by (priority, id).
+///
+/// `Rank` pairs a variable with its current priority. A rank is *higher*
+/// (it "outranks") when its priority is numerically greater, with priority
+/// ties broken toward the smaller [`VariableId`]. `Ord` is implemented so
+/// that `a > b` means "a outranks b", which lets ranks be compared with the
+/// ordinary comparison operators and aggregated with `Iterator::max` /
+/// `Iterator::min`.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::{Priority, Rank, VariableId};
+///
+/// let a = Rank::new(VariableId::new(1), Priority::new(2));
+/// let b = Rank::new(VariableId::new(0), Priority::new(1));
+/// assert!(a > b); // higher priority wins
+///
+/// let c = Rank::new(VariableId::new(0), Priority::new(2));
+/// assert!(c > a); // equal priority: smaller id wins
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rank {
+    var: VariableId,
+    priority: Priority,
+}
+
+impl Rank {
+    /// Creates the rank of `var` at `priority`.
+    pub const fn new(var: VariableId, priority: Priority) -> Self {
+        Rank { var, priority }
+    }
+
+    /// The ranked variable.
+    pub const fn var(self) -> VariableId {
+        self.var
+    }
+
+    /// The variable's priority.
+    pub const fn priority(self) -> Priority {
+        self.priority
+    }
+
+    /// Whether `self` outranks `other` (strictly higher in the total order).
+    pub fn outranks(self, other: Rank) -> bool {
+        self > other
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            // Smaller id outranks: reverse the id comparison.
+            .then_with(|| other.var.cmp(&self.var))
+    }
+}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.var, self.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(var: u32, prio: u64) -> Rank {
+        Rank::new(VariableId::new(var), Priority::new(prio))
+    }
+
+    #[test]
+    fn priority_arithmetic() {
+        assert_eq!(Priority::ZERO.next(), Priority::new(1));
+        assert_eq!(
+            Priority::new(3).raise_to(Priority::new(1)),
+            Priority::new(3)
+        );
+        assert_eq!(
+            Priority::new(1).raise_to(Priority::new(3)),
+            Priority::new(3)
+        );
+        assert_eq!(Priority::from(5u64).get(), 5);
+    }
+
+    #[test]
+    fn higher_priority_outranks() {
+        assert!(rank(9, 2).outranks(rank(0, 1)));
+        assert!(!rank(0, 1).outranks(rank(9, 2)));
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_id() {
+        assert!(rank(0, 1).outranks(rank(1, 1)));
+        assert!(!rank(1, 1).outranks(rank(0, 1)));
+    }
+
+    #[test]
+    fn rank_is_a_total_order() {
+        let mut ranks = vec![rank(2, 0), rank(0, 1), rank(1, 1), rank(3, 2)];
+        ranks.sort();
+        // Ascending order: lowest rank first.
+        assert_eq!(ranks, vec![rank(2, 0), rank(1, 1), rank(0, 1), rank(3, 2)]);
+    }
+
+    #[test]
+    fn equal_ranks_compare_equal() {
+        assert_eq!(rank(1, 1), rank(1, 1));
+        assert!(!rank(1, 1).outranks(rank(1, 1)));
+    }
+
+    #[test]
+    fn min_by_rank_finds_lowest() {
+        let ranks = [rank(0, 3), rank(5, 1), rank(2, 1)];
+        let lowest = ranks.iter().copied().min().unwrap();
+        // Priority 1 is lowest; id 5 loses the tie-break to id 2, so x5 is
+        // the *lowest* ranked.
+        assert_eq!(lowest, rank(5, 1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(rank(3, 7).to_string(), "x3@7");
+        assert_eq!(Priority::new(7).to_string(), "7");
+    }
+}

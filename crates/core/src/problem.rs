@@ -1,0 +1,450 @@
+//! Distributed constraint satisfaction problems.
+//!
+//! A distributed CSP (§2.1) distributes variables and nogoods among agents;
+//! each agent's local CSP contains its variables and *all* nogoods relevant
+//! to them (including inter-agent nogoods). The paper's benchmarks assign
+//! exactly one variable per agent; the model supports any assignment.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::Assignment;
+use crate::domain::Domain;
+use crate::error::CoreError;
+use crate::ids::{AgentId, VariableId};
+use crate::nogood::Nogood;
+use crate::value::Value;
+
+/// An immutable distributed CSP: variables with domains and owners, plus
+/// the original constraint nogoods.
+///
+/// Construct with [`DistributedCsp::builder`]. The structure is validated
+/// once at build time; accessors never fail afterwards.
+///
+/// # Examples
+///
+/// A two-node, two-color "not equal" problem:
+///
+/// ```
+/// use discsp_core::{Assignment, DistributedCsp, Domain, Value};
+///
+/// # fn main() -> Result<(), discsp_core::CoreError> {
+/// let mut b = DistributedCsp::builder();
+/// let x = b.variable(Domain::new(2));
+/// let y = b.variable(Domain::new(2));
+/// b.not_equal(x, y)?;
+/// let problem = b.build()?;
+///
+/// let good = Assignment::total([Value::new(0), Value::new(1)]);
+/// assert!(problem.is_solution(&good));
+/// let bad = Assignment::total([Value::new(1), Value::new(1)]);
+/// assert!(!problem.is_solution(&bad));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedCsp {
+    domains: Vec<Domain>,
+    owners: Vec<AgentId>,
+    num_agents: usize,
+    nogoods: Vec<Nogood>,
+    /// Per-variable indices into `nogoods` (the variable's *relevant*
+    /// nogoods).
+    relevant: Vec<Vec<usize>>,
+    /// Per-variable sorted list of variables sharing at least one nogood.
+    neighbors: Vec<Vec<VariableId>>,
+}
+
+impl DistributedCsp {
+    /// Starts building a problem.
+    pub fn builder() -> DistributedCspBuilder {
+        DistributedCspBuilder::new()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of agents (the densely numbered agent set `0..num_agents`).
+    pub fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+
+    /// Iterates over all variable ids.
+    pub fn vars(&self) -> impl Iterator<Item = VariableId> {
+        (0..self.domains.len() as u32).map(VariableId::new)
+    }
+
+    /// The domain of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn domain(&self, var: VariableId) -> Domain {
+        self.domains[var.index()]
+    }
+
+    /// The agent owning `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn owner(&self, var: VariableId) -> AgentId {
+        self.owners[var.index()]
+    }
+
+    /// The variables owned by `agent`, in id order.
+    pub fn vars_of_agent(&self, agent: AgentId) -> Vec<VariableId> {
+        self.vars().filter(|&v| self.owner(v) == agent).collect()
+    }
+
+    /// All original constraint nogoods.
+    pub fn nogoods(&self) -> &[Nogood] {
+        &self.nogoods
+    }
+
+    /// The nogoods relevant to `var` (those mentioning it) — the contents
+    /// of the owning agent's initial nogood set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn nogoods_of(&self, var: VariableId) -> impl Iterator<Item = &Nogood> {
+        self.relevant[var.index()].iter().map(|&i| &self.nogoods[i])
+    }
+
+    /// Variables sharing at least one nogood with `var`, sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn neighbors(&self, var: VariableId) -> &[VariableId] {
+        &self.neighbors[var.index()]
+    }
+
+    /// Whether the total assignment `assignment` violates no nogood.
+    ///
+    /// Returns `false` for partial assignments (every variable must be
+    /// assigned).
+    pub fn is_solution(&self, assignment: &Assignment) -> bool {
+        if assignment.num_vars() < self.num_vars() || !assignment.is_total() {
+            return false;
+        }
+        self.nogoods
+            .iter()
+            .all(|ng| !ng.is_violated_by(assignment.lookup()))
+    }
+
+    /// Counts the nogoods violated under a (possibly partial) lookup.
+    pub fn violation_count<F>(&self, lookup: F) -> usize
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.nogoods
+            .iter()
+            .filter(|ng| ng.is_violated_by(&lookup))
+            .count()
+    }
+
+    /// Mean number of nogoods per variable — a density measure used by
+    /// reports.
+    pub fn mean_relevant_nogoods(&self) -> f64 {
+        if self.relevant.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.relevant.iter().map(Vec::len).sum();
+        total as f64 / self.relevant.len() as f64
+    }
+}
+
+impl fmt::Display for DistributedCsp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "discsp[{} vars, {} agents, {} nogoods]",
+            self.num_vars(),
+            self.num_agents(),
+            self.nogoods.len()
+        )
+    }
+}
+
+/// Incremental builder for [`DistributedCsp`], returned by
+/// [`DistributedCsp::builder`].
+#[derive(Debug, Default)]
+pub struct DistributedCspBuilder {
+    domains: Vec<Domain>,
+    owners: Vec<AgentId>,
+    explicit_agents: Option<u32>,
+    nogoods: Vec<Nogood>,
+}
+
+impl DistributedCspBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DistributedCspBuilder::default()
+    }
+
+    /// Adds a variable owned by a fresh agent (the paper's one-variable-
+    /// per-agent arrangement). Returns the new variable's id.
+    pub fn variable(&mut self, domain: Domain) -> VariableId {
+        let var = VariableId::new(self.domains.len() as u32);
+        let agent = AgentId::new(self.owners.len() as u32);
+        self.domains.push(domain);
+        self.owners.push(agent);
+        var
+    }
+
+    /// Adds a variable owned by a specific agent (multi-variable-per-agent
+    /// problems). Returns the new variable's id.
+    pub fn variable_owned_by(&mut self, domain: Domain, agent: AgentId) -> VariableId {
+        let var = VariableId::new(self.domains.len() as u32);
+        self.domains.push(domain);
+        self.owners.push(agent);
+        let max = self.explicit_agents.unwrap_or(0).max(agent.raw() + 1);
+        self.explicit_agents = Some(max);
+        var
+    }
+
+    /// Adds a constraint nogood.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the nogood mentions an unknown variable or a
+    /// value outside that variable's domain.
+    pub fn nogood(&mut self, nogood: Nogood) -> Result<&mut Self, CoreError> {
+        for e in nogood.elems() {
+            let Some(domain) = self.domains.get(e.var.index()) else {
+                return Err(CoreError::UnknownVariable { var: e.var });
+            };
+            if !domain.contains(e.value) {
+                return Err(CoreError::ValueOutOfDomain {
+                    var: e.var,
+                    value: e.value,
+                });
+            }
+        }
+        self.nogoods.push(nogood);
+        Ok(self)
+    }
+
+    /// Adds the pairwise nogoods of a graph-coloring arc: for every common
+    /// value `v`, prohibits `x = v ∧ y = v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either variable is unknown.
+    pub fn not_equal(&mut self, x: VariableId, y: VariableId) -> Result<&mut Self, CoreError> {
+        let dx = *self
+            .domains
+            .get(x.index())
+            .ok_or(CoreError::UnknownVariable { var: x })?;
+        let dy = *self
+            .domains
+            .get(y.index())
+            .ok_or(CoreError::UnknownVariable { var: y })?;
+        let shared = dx.size().min(dy.size()) as u16;
+        for v in 0..shared {
+            let value = Value::new(v);
+            self.nogood(Nogood::of([(x, value), (y, value)]))?;
+        }
+        Ok(self)
+    }
+
+    /// Adds a SAT clause over Boolean variables: the clause
+    /// `l₁ ∨ l₂ ∨ …` (each literal a `(variable, polarity)` pair) becomes
+    /// the nogood prohibiting *every literal false simultaneously*.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a variable is unknown or non-Boolean, or if the
+    /// clause contains complementary literals on the same variable (such a
+    /// clause is a tautology and cannot be represented as a nogood).
+    pub fn clause(&mut self, literals: &[(VariableId, bool)]) -> Result<&mut Self, CoreError> {
+        let elems = literals
+            .iter()
+            .map(|&(var, polarity)| (var, Value::from_bool(!polarity)));
+        let nogood = Nogood::try_new(elems.map(Into::into))?;
+        self.nogood(nogood)
+    }
+
+    /// Finalizes the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyProblem`] if no variable was added.
+    pub fn build(&mut self) -> Result<DistributedCsp, CoreError> {
+        if self.domains.is_empty() {
+            return Err(CoreError::EmptyProblem);
+        }
+        let num_vars = self.domains.len();
+        let num_agents = self
+            .explicit_agents
+            .map(|n| n as usize)
+            .unwrap_or(0)
+            .max(self.owners.iter().map(|a| a.index() + 1).max().unwrap_or(0));
+
+        let mut relevant = vec![Vec::new(); num_vars];
+        let mut neighbors: Vec<Vec<VariableId>> = vec![Vec::new(); num_vars];
+        for (i, ng) in self.nogoods.iter().enumerate() {
+            for e in ng.elems() {
+                relevant[e.var.index()].push(i);
+                for other in ng.elems() {
+                    if other.var != e.var {
+                        neighbors[e.var.index()].push(other.var);
+                    }
+                }
+            }
+        }
+        for list in &mut neighbors {
+            list.sort();
+            list.dedup();
+        }
+
+        Ok(DistributedCsp {
+            domains: std::mem::take(&mut self.domains),
+            owners: std::mem::take(&mut self.owners),
+            num_agents,
+            nogoods: std::mem::take(&mut self.nogoods),
+            relevant,
+            neighbors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u16) -> Value {
+        Value::new(i)
+    }
+
+    fn triangle() -> DistributedCsp {
+        let mut b = DistributedCsp::builder();
+        let x = b.variable(Domain::new(3));
+        let y = b.variable(Domain::new(3));
+        let z = b.variable(Domain::new(3));
+        b.not_equal(x, y).unwrap();
+        b.not_equal(y, z).unwrap();
+        b.not_equal(x, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_one_agent_per_variable() {
+        let p = triangle();
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.num_agents(), 3);
+        assert_eq!(p.owner(VariableId::new(2)), AgentId::new(2));
+        assert_eq!(p.vars_of_agent(AgentId::new(1)), vec![VariableId::new(1)]);
+    }
+
+    #[test]
+    fn not_equal_expands_to_pairwise_nogoods() {
+        let p = triangle();
+        // 3 arcs × 3 colors.
+        assert_eq!(p.nogoods().len(), 9);
+        assert_eq!(p.nogoods_of(VariableId::new(0)).count(), 6);
+        assert_eq!(
+            p.neighbors(VariableId::new(0)),
+            &[VariableId::new(1), VariableId::new(2)]
+        );
+    }
+
+    #[test]
+    fn solution_detection() {
+        let p = triangle();
+        assert!(p.is_solution(&Assignment::total([v(0), v(1), v(2)])));
+        assert!(!p.is_solution(&Assignment::total([v(0), v(0), v(2)])));
+        // Partial assignments are never solutions.
+        let mut partial = Assignment::empty(3);
+        partial.set(VariableId::new(0), v(0));
+        assert!(!p.is_solution(&partial));
+        // Too-small assignments are never solutions.
+        assert!(!p.is_solution(&Assignment::total([v(0), v(1)])));
+    }
+
+    #[test]
+    fn violation_count_over_partial_lookup() {
+        let p = triangle();
+        // x0 = x1 = 0 violates exactly one nogood; x2 unassigned.
+        let count = p.violation_count(|var| if var.index() < 2 { Some(v(0)) } else { None });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn clause_encoding_negates_literals() {
+        let mut b = DistributedCsp::builder();
+        let p = b.variable(Domain::BOOL);
+        let q = b.variable(Domain::BOOL);
+        // p ∨ ¬q  ⇒  prohibit p=false ∧ q=true.
+        b.clause(&[(p, true), (q, false)]).unwrap();
+        let problem = b.build().unwrap();
+        assert_eq!(
+            problem.nogoods()[0],
+            Nogood::of([(p, Value::FALSE), (q, Value::TRUE)])
+        );
+    }
+
+    #[test]
+    fn tautological_clause_rejected() {
+        let mut b = DistributedCsp::builder();
+        let p = b.variable(Domain::BOOL);
+        let err = b.clause(&[(p, true), (p, false)]).unwrap_err();
+        assert!(matches!(err, CoreError::ConflictingNogoodElements { .. }));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut b = DistributedCsp::builder();
+        let _ = b.variable(Domain::new(3));
+        let err = b
+            .nogood(Nogood::of([(VariableId::new(9), v(0))]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownVariable { .. }));
+    }
+
+    #[test]
+    fn out_of_domain_value_rejected() {
+        let mut b = DistributedCsp::builder();
+        let x = b.variable(Domain::new(2));
+        let err = b.nogood(Nogood::of([(x, v(5))])).unwrap_err();
+        assert!(matches!(err, CoreError::ValueOutOfDomain { .. }));
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        let err = DistributedCsp::builder().build().unwrap_err();
+        assert_eq!(err, CoreError::EmptyProblem);
+    }
+
+    #[test]
+    fn explicit_ownership_and_agent_count() {
+        let mut b = DistributedCsp::builder();
+        let agent = AgentId::new(0);
+        let x = b.variable_owned_by(Domain::new(2), agent);
+        let y = b.variable_owned_by(Domain::new(2), agent);
+        b.not_equal(x, y).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.num_agents(), 1);
+        assert_eq!(p.vars_of_agent(agent).len(), 2);
+    }
+
+    #[test]
+    fn density_measure() {
+        let p = triangle();
+        // Each variable is relevant to 6 of the 9 nogoods.
+        assert!((p.mean_relevant_nogoods() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(
+            triangle().to_string(),
+            "discsp[3 vars, 3 agents, 9 nogoods]"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Instrumented per-agent nogood storage.
+//!
+//! Every nogood evaluation in the system is routed through a
+//! [`NogoodStore`] (or metered explicitly), because the paper's `maxcck`
+//! metric is defined in units of *nogood checks*. The store deduplicates
+//! recorded nogoods and maintains a per-variable index so algorithms can
+//! iterate only over potentially relevant nogoods without distorting the
+//! check counts (a check is only counted when a nogood is actually
+//! evaluated against a view).
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::VariableId;
+use crate::nogood::Nogood;
+use crate::value::Value;
+
+/// A deduplicating nogood set with an evaluation meter.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::{Nogood, NogoodStore, Value, VariableId};
+///
+/// let mut store = NogoodStore::new();
+/// let ng = Nogood::of([(VariableId::new(0), Value::new(1))]);
+/// assert!(store.insert(ng.clone()));
+/// assert!(!store.insert(ng)); // duplicate
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct NogoodStore {
+    nogoods: Vec<Nogood>,
+    seen: HashSet<Nogood>,
+    checks: Cell<u64>,
+}
+
+impl NogoodStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        NogoodStore::default()
+    }
+
+    /// Creates a store pre-populated with `nogoods` (duplicates merged).
+    pub fn with_nogoods<I>(nogoods: I) -> Self
+    where
+        I: IntoIterator<Item = Nogood>,
+    {
+        let mut store = NogoodStore::new();
+        for ng in nogoods {
+            store.insert(ng);
+        }
+        store
+    }
+
+    /// Records `nogood`; returns `false` if it was already present.
+    pub fn insert(&mut self, nogood: Nogood) -> bool {
+        if self.seen.contains(&nogood) {
+            return false;
+        }
+        self.seen.insert(nogood.clone());
+        self.nogoods.push(nogood);
+        true
+    }
+
+    /// Whether `nogood` is recorded.
+    pub fn contains(&self, nogood: &Nogood) -> bool {
+        self.seen.contains(nogood)
+    }
+
+    /// Number of recorded nogoods.
+    pub fn len(&self) -> usize {
+        self.nogoods.len()
+    }
+
+    /// Whether the store holds no nogoods.
+    pub fn is_empty(&self) -> bool {
+        self.nogoods.is_empty()
+    }
+
+    /// Iterates over the recorded nogoods in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Nogood> {
+        self.nogoods.iter()
+    }
+
+    /// The nogood at insertion index `index`.
+    pub fn get(&self, index: usize) -> Option<&Nogood> {
+        self.nogoods.get(index)
+    }
+
+    /// Evaluates one nogood against `lookup`, counting **one** nogood check.
+    ///
+    /// Returns whether the nogood is violated. This is the sole metered
+    /// primitive; [`NogoodStore::violated`] and the algorithm crates build
+    /// on it.
+    pub fn eval<F>(&self, nogood: &Nogood, lookup: F) -> bool
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.checks.set(self.checks.get() + 1);
+        nogood.is_violated_by(lookup)
+    }
+
+    /// Meters `n` additional checks performed outside [`NogoodStore::eval`]
+    /// (e.g. subset tests during mcs search).
+    pub fn charge_checks(&self, n: u64) {
+        self.checks.set(self.checks.get() + n);
+    }
+
+    /// Returns the violated nogoods under `lookup`, evaluating (and
+    /// counting) every stored nogood.
+    pub fn violated<F>(&self, lookup: F) -> Vec<&Nogood>
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.nogoods
+            .iter()
+            .filter(|ng| self.eval(ng, &lookup))
+            .collect()
+    }
+
+    /// Counts the violated nogoods under `lookup`, evaluating (and
+    /// counting) every stored nogood.
+    pub fn violation_count<F>(&self, lookup: F) -> usize
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.nogoods
+            .iter()
+            .filter(|ng| self.eval(ng, &lookup))
+            .count()
+    }
+
+    /// Total nogood checks performed since construction or the last
+    /// [`NogoodStore::take_checks`].
+    pub fn checks(&self) -> u64 {
+        self.checks.get()
+    }
+
+    /// Returns the check count and resets it to zero (used by the
+    /// synchronous simulator at every cycle boundary to build `maxcck`).
+    pub fn take_checks(&self) -> u64 {
+        self.checks.replace(0)
+    }
+}
+
+impl fmt::Display for NogoodStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store[{} nogoods, {} checks]", self.len(), self.checks())
+    }
+}
+
+impl FromIterator<Nogood> for NogoodStore {
+    fn from_iter<I: IntoIterator<Item = Nogood>>(iter: I) -> Self {
+        NogoodStore::with_nogoods(iter)
+    }
+}
+
+impl Extend<Nogood> for NogoodStore {
+    fn extend<I: IntoIterator<Item = Nogood>>(&mut self, iter: I) {
+        for ng in iter {
+            self.insert(ng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> VariableId {
+        VariableId::new(i)
+    }
+    fn v(i: u16) -> Value {
+        Value::new(i)
+    }
+
+    fn pair(a: u32, av: u16, b: u32, bv: u16) -> Nogood {
+        Nogood::of([(x(a), v(av)), (x(b), v(bv))])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut store = NogoodStore::new();
+        assert!(store.insert(pair(0, 1, 1, 1)));
+        assert!(!store.insert(pair(1, 1, 0, 1))); // same canonical nogood
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&pair(0, 1, 1, 1)));
+    }
+
+    #[test]
+    fn eval_counts_checks() {
+        let store = NogoodStore::new();
+        let ng = pair(0, 1, 1, 1);
+        assert_eq!(store.checks(), 0);
+        let violated = store.eval(&ng, |var| if var.index() <= 1 { Some(v(1)) } else { None });
+        assert!(violated);
+        assert_eq!(store.checks(), 1);
+        store.eval(&ng, |_| None);
+        assert_eq!(store.checks(), 2);
+    }
+
+    #[test]
+    fn take_checks_resets() {
+        let store = NogoodStore::new();
+        store.charge_checks(5);
+        assert_eq!(store.take_checks(), 5);
+        assert_eq!(store.checks(), 0);
+    }
+
+    #[test]
+    fn violated_scans_everything_and_counts() {
+        let store: NogoodStore = [pair(0, 0, 1, 0), pair(0, 1, 1, 1), pair(2, 0, 3, 0)]
+            .into_iter()
+            .collect();
+        let lookup = |var: VariableId| if var.index() < 2 { Some(v(1)) } else { None };
+        let violated = store.violated(lookup);
+        assert_eq!(violated.len(), 1);
+        assert_eq!(violated[0], &pair(0, 1, 1, 1));
+        // All three nogoods were checked.
+        assert_eq!(store.checks(), 3);
+        assert_eq!(store.violation_count(lookup), 1);
+        assert_eq!(store.checks(), 6);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut store = NogoodStore::new();
+        store.extend([pair(0, 0, 1, 0), pair(0, 0, 1, 0)]);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let store = NogoodStore::new();
+        assert!(store.to_string().contains("store"));
+    }
+}

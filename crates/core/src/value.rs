@@ -1,0 +1,176 @@
+//! Values that variables may take.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single value from a variable's domain.
+///
+/// Values are small dense integers. Domain-specific meaning (a color, a
+/// Boolean polarity, a time slot) is attached via [`ValueLabels`] when
+/// rendering, never inside the solver hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::Value;
+///
+/// let red = Value::new(0);
+/// assert_eq!(red.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Value(u16);
+
+impl Value {
+    /// The conventional encoding of Boolean `false`.
+    pub const FALSE: Value = Value(0);
+    /// The conventional encoding of Boolean `true`.
+    pub const TRUE: Value = Value(1);
+
+    /// Creates a value from its dense index within a domain.
+    pub const fn new(index: u16) -> Self {
+        Value(index)
+    }
+
+    /// Creates a value from a Boolean polarity (`false → 0`, `true → 1`).
+    pub const fn from_bool(b: bool) -> Self {
+        if b {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+
+    /// Returns the dense index backing this value.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Interprets this value as a Boolean (`0 → false`, anything else → true).
+    pub const fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Value {
+    fn from(index: u16) -> Self {
+        Value(index)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::from_bool(b)
+    }
+}
+
+/// Human-readable labels for the values of a domain, used by examples and
+/// trace output.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::{Value, ValueLabels};
+///
+/// let colors = ValueLabels::colors3();
+/// assert_eq!(colors.label(Value::new(0)), "red");
+/// assert_eq!(colors.label(Value::new(9)), "?");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueLabels {
+    labels: Vec<String>,
+}
+
+impl ValueLabels {
+    /// Creates labels from an ordered list of names.
+    pub fn new<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ValueLabels {
+            labels: labels.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The classic three colors used by the paper's Figure 1:
+    /// `red`, `yellow`, `green` (indices 0, 1, 2).
+    pub fn colors3() -> Self {
+        ValueLabels::new(["red", "yellow", "green"])
+    }
+
+    /// Boolean labels: `false`, `true` (indices 0, 1).
+    pub fn booleans() -> Self {
+        ValueLabels::new(["false", "true"])
+    }
+
+    /// Returns the label for `value`, or `"?"` if out of range.
+    pub fn label(&self, value: Value) -> &str {
+        self.labels
+            .get(value.index())
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Number of labeled values.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::new(3);
+        assert_eq!(v.index(), 3);
+        assert_eq!(v.raw(), 3);
+        assert_eq!(Value::from(3u16), v);
+        assert_eq!(v.to_string(), "3");
+    }
+
+    #[test]
+    fn boolean_values() {
+        assert_eq!(Value::from_bool(true), Value::TRUE);
+        assert_eq!(Value::from_bool(false), Value::FALSE);
+        assert!(Value::TRUE.as_bool());
+        assert!(!Value::FALSE.as_bool());
+        assert_eq!(Value::from(true), Value::TRUE);
+    }
+
+    #[test]
+    fn color_labels() {
+        let labels = ValueLabels::colors3();
+        assert_eq!(labels.len(), 3);
+        assert!(!labels.is_empty());
+        assert_eq!(labels.label(Value::new(0)), "red");
+        assert_eq!(labels.label(Value::new(1)), "yellow");
+        assert_eq!(labels.label(Value::new(2)), "green");
+        assert_eq!(labels.label(Value::new(3)), "?");
+    }
+
+    #[test]
+    fn boolean_labels() {
+        let labels = ValueLabels::booleans();
+        assert_eq!(labels.label(Value::FALSE), "false");
+        assert_eq!(labels.label(Value::TRUE), "true");
+    }
+}

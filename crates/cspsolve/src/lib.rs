@@ -1,0 +1,22 @@
+//! Centralized CSP solving substrate.
+//!
+//! The distributed algorithms in this workspace never rely on global
+//! search, but the *experiments* do: benchmark generators must prove
+//! their instances solvable (or uniquely solvable), and tests cross-check
+//! distributed solutions. This crate provides:
+//!
+//! * [`Backtracker`] — chronological backtracking with forward checking
+//!   and MRV over nogood constraints; supports model counting /
+//!   enumeration, forbidden assignments, and value ordering away from a
+//!   reference model (used to hunt for second models).
+//! * [`MinConflicts`] — min-conflicts local search (Minton et al.), the
+//!   non-systematic reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backtrack;
+mod minconflicts;
+
+pub use backtrack::{Backtracker, SolveResult};
+pub use minconflicts::{random_assignment, MinConflicts, MinConflictsOutcome};

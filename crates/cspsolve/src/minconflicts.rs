@@ -1,0 +1,199 @@
+//! Min-conflicts local search (Minton et al., AIJ'92).
+//!
+//! A non-systematic reference solver: validates that generated instances
+//! are *easy enough* for local search where expected (plain planted
+//! instances) and *hard* where expected (unique-solution instances — the
+//! paper's §4 cites Richards & Richards showing these defeat
+//! non-systematic search).
+
+use discsp_core::{Assignment, DistributedCsp, Value, VariableId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Result of a min-conflicts run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinConflictsOutcome {
+    /// The solution, if the search reached zero conflicts.
+    pub solution: Option<Assignment>,
+    /// Repair steps performed.
+    pub steps: u64,
+}
+
+/// Min-conflicts hill-climbing with random restarts.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_core::{DistributedCsp, Domain};
+/// use discsp_cspsolve::MinConflicts;
+///
+/// # fn main() -> Result<(), discsp_core::CoreError> {
+/// let mut b = DistributedCsp::builder();
+/// let x = b.variable(Domain::new(3));
+/// let y = b.variable(Domain::new(3));
+/// b.not_equal(x, y)?;
+/// let problem = b.build()?;
+/// let outcome = MinConflicts::new(42).max_steps(1_000).run(&problem);
+/// assert!(outcome.solution.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinConflicts {
+    seed: u64,
+    max_steps: u64,
+    restart_every: u64,
+}
+
+impl MinConflicts {
+    /// Creates a search with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        MinConflicts {
+            seed,
+            max_steps: 100_000,
+            restart_every: 10_000,
+        }
+    }
+
+    /// Caps total repair steps across restarts.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Restarts from a fresh random assignment every `steps` repairs.
+    pub fn restart_every(mut self, steps: u64) -> Self {
+        self.restart_every = steps;
+        self
+    }
+
+    /// Runs the search on `problem`.
+    pub fn run(&self, problem: &DistributedCsp) -> MinConflictsOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut steps = 0u64;
+        while steps < self.max_steps {
+            let budget = self.restart_every.min(self.max_steps - steps);
+            let (solution, used) = self.episode(problem, &mut rng, budget);
+            steps += used;
+            if solution.is_some() {
+                return MinConflictsOutcome { solution, steps };
+            }
+        }
+        MinConflictsOutcome {
+            solution: None,
+            steps,
+        }
+    }
+
+    fn episode(
+        &self,
+        problem: &DistributedCsp,
+        rng: &mut StdRng,
+        budget: u64,
+    ) -> (Option<Assignment>, u64) {
+        let mut assignment = random_assignment(problem, rng);
+        for step in 0..budget {
+            let conflicted: Vec<VariableId> = problem
+                .vars()
+                .filter(|&v| {
+                    problem
+                        .nogoods_of(v)
+                        .any(|ng| ng.is_violated_by(assignment.lookup()))
+                })
+                .collect();
+            if conflicted.is_empty() {
+                return (Some(assignment), step);
+            }
+            let &var = conflicted.choose(rng).expect("nonempty");
+            // Move `var` to the value with the fewest violated relevant
+            // nogoods; random tie-break.
+            let mut best: Vec<Value> = Vec::new();
+            let mut best_cost = usize::MAX;
+            for d in problem.domain(var).iter() {
+                assignment.set(var, d);
+                let cost = problem
+                    .nogoods_of(var)
+                    .filter(|ng| ng.is_violated_by(assignment.lookup()))
+                    .count();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best.clear();
+                    best.push(d);
+                } else if cost == best_cost {
+                    best.push(d);
+                }
+            }
+            let &choice = best.choose(rng).expect("domains are nonempty");
+            assignment.set(var, choice);
+        }
+        (None, budget)
+    }
+}
+
+/// Draws a uniformly random total assignment, as the paper does for each
+/// trial's initial values.
+pub fn random_assignment<R: Rng>(problem: &DistributedCsp, rng: &mut R) -> Assignment {
+    Assignment::total(
+        problem
+            .vars()
+            .map(|v| Value::new(rng.gen_range(0..problem.domain(v).size()) as u16)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_core::Domain;
+
+    fn cycle(n: usize) -> DistributedCsp {
+        let mut b = DistributedCsp::builder();
+        let vars: Vec<_> = (0..n).map(|_| b.variable(Domain::new(3))).collect();
+        for i in 0..n {
+            b.not_equal(vars[i], vars[(i + 1) % n]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn solves_even_cycle() {
+        let p = cycle(10);
+        let outcome = MinConflicts::new(1).run(&p);
+        let s = outcome.solution.expect("10-cycle is 3-colorable");
+        assert!(p.is_solution(&s));
+    }
+
+    #[test]
+    fn fails_gracefully_on_insoluble() {
+        let mut b = DistributedCsp::builder();
+        let vars: Vec<_> = (0..4).map(|_| b.variable(Domain::new(3))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.not_equal(vars[i], vars[j]).unwrap();
+            }
+        }
+        let p = b.build().unwrap();
+        let outcome = MinConflicts::new(1).max_steps(2_000).run(&p);
+        assert!(outcome.solution.is_none());
+        assert_eq!(outcome.steps, 2_000);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = cycle(8);
+        let a = MinConflicts::new(7).run(&p);
+        let b = MinConflicts::new(7).run(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_assignment_is_total_and_in_domain() {
+        let p = cycle(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_assignment(&p, &mut rng);
+        assert!(a.is_total());
+        for v in p.vars() {
+            assert!(p.domain(v).contains(a.get(v).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the centralized substrate: agreement between
+//! systematic and local search, and counting consistency.
+
+use discsp_core::{Assignment, DistributedCsp, Domain, Nogood, Value, VariableId};
+use discsp_cspsolve::{random_assignment, Backtracker, MinConflicts, SolveResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_problem(n: u32, nogoods: usize, seed: u64) -> DistributedCsp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DistributedCsp::builder();
+    let vars: Vec<_> = (0..n).map(|_| b.variable(Domain::new(3))).collect();
+    let mut added = 0;
+    while added < nogoods {
+        let i = rng.gen_range(0..n) as usize;
+        let j = rng.gen_range(0..n) as usize;
+        if i == j {
+            continue;
+        }
+        let ng = Nogood::of([
+            (vars[i], Value::new(rng.gen_range(0..3))),
+            (vars[j], Value::new(rng.gen_range(0..3))),
+        ]);
+        if b.nogood(ng).is_ok() {
+            added += 1;
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn backtracker_and_minconflicts_agree_on_satisfiable_instances() {
+    for seed in 0..10 {
+        let problem = random_problem(12, 20, seed);
+        let bt = Backtracker::new(&problem).solve();
+        match bt {
+            SolveResult::Solution(model) => {
+                assert!(problem.is_solution(&model));
+                // Local search with a generous budget should also find
+                // one on these loose instances.
+                let mc = MinConflicts::new(seed).max_steps(50_000).run(&problem);
+                let found = mc.solution.expect("loose instance solvable locally");
+                assert!(problem.is_solution(&found));
+            }
+            SolveResult::Unsatisfiable => {
+                let mc = MinConflicts::new(seed).max_steps(5_000).run(&problem);
+                assert!(mc.solution.is_none());
+            }
+            SolveResult::LimitReached => panic!("tiny instance hit node limit"),
+        }
+    }
+}
+
+#[test]
+fn count_models_agrees_with_enumerate() {
+    for seed in 0..5 {
+        let problem = random_problem(8, 10, seed);
+        let (count, complete) = Backtracker::new(&problem).count_models(100_000);
+        assert!(complete);
+        let models = Backtracker::new(&problem).enumerate(100_000);
+        assert_eq!(count, models.len());
+        for m in &models {
+            assert!(problem.is_solution(m));
+        }
+        // Models are pairwise distinct.
+        let unique: std::collections::HashSet<String> =
+            models.iter().map(|m| m.to_string()).collect();
+        assert_eq!(unique.len(), models.len());
+    }
+}
+
+#[test]
+fn forbid_reduces_model_count_by_exactly_one() {
+    let problem = random_problem(7, 6, 3);
+    let models = Backtracker::new(&problem).enumerate(100_000);
+    assert!(!models.is_empty());
+    let (count, complete) = Backtracker::new(&problem)
+        .forbid(&models[0])
+        .count_models(100_000);
+    assert!(complete);
+    assert_eq!(count, models.len() - 1);
+}
+
+#[test]
+fn unconstrained_problem_has_domain_product_models() {
+    let mut b = DistributedCsp::builder();
+    for _ in 0..4 {
+        b.variable(Domain::new(3));
+    }
+    let problem = b.build().unwrap();
+    let (count, complete) = Backtracker::new(&problem).count_models(1_000);
+    assert!(complete);
+    assert_eq!(count, 81);
+}
+
+#[test]
+fn random_assignment_uniformity_rough_check() {
+    let mut b = DistributedCsp::builder();
+    let x = b.variable(Domain::new(4));
+    let problem = b.build().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut counts = [0u32; 4];
+    for _ in 0..4_000 {
+        let a = random_assignment(&problem, &mut rng);
+        counts[a.get(x).unwrap().index()] += 1;
+    }
+    for &c in &counts {
+        assert!(c > 800 && c < 1_200, "counts {counts:?}");
+    }
+}
+
+#[test]
+fn value_ordering_away_from_finds_distant_models() {
+    // On an unconstrained Boolean problem, ordering away from all-false
+    // must reach all-true first.
+    let mut b = DistributedCsp::builder();
+    for _ in 0..5 {
+        b.variable(Domain::BOOL);
+    }
+    let problem = b.build().unwrap();
+    let reference = Assignment::total(vec![Value::FALSE; 5]);
+    let result = Backtracker::new(&problem)
+        .value_order_away_from(&reference)
+        .solve();
+    let model = result.solution().unwrap();
+    for i in 0..5 {
+        assert_eq!(model.get(VariableId::new(i)), Some(Value::TRUE));
+    }
+}

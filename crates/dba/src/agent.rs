@@ -1,0 +1,555 @@
+//! The distributed breakout agent state machine (§4.3 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use discsp_core::{AgentId, Domain, Nogood, NogoodStore, Value, VarValue, VariableId};
+use discsp_runtime::{AgentStats, DistributedAgent, Envelope, Outbox};
+use serde::{Deserialize, Serialize};
+
+use crate::msg::DbaMessage;
+
+/// Where constraint weights live.
+///
+/// The paper's footnote 7: the original DB assigned a weight "to a pair of
+/// variables" for graph coloring, while this paper "assigns it to a
+/// nogood" and found the latter better. Both modes are provided so the
+/// claim can be ablated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WeightMode {
+    /// One weight per nogood (the paper's choice).
+    #[default]
+    PerNogood,
+    /// One weight per foreign-variable group: all nogoods sharing the
+    /// same set of non-own variables share a weight (the ICMAS'96
+    /// variable-pair scheme generalized to n-ary nogoods).
+    PerPair,
+}
+
+/// Wave-alternation phase of a DB agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WaitOk,
+    WaitImprove,
+}
+
+/// One distributed breakout agent owning a single variable.
+///
+/// DB alternates two synchronized waves: an `ok?` wave announcing values,
+/// then an `improve` wave arbitrating which agent in each neighborhood
+/// may move (ties break toward the smaller agent id). An agent whose cost
+/// is positive while nobody nearby can improve is at a *quasi-local-
+/// minimum* and escapes by the breakout strategy: incrementing the weight
+/// of each currently violated nogood.
+#[derive(Debug)]
+pub struct DbaAgent {
+    id: AgentId,
+    var: VariableId,
+    domain: Domain,
+    value: Value,
+    store: NogoodStore,
+    /// Weight of nogood `i` is `weights[weight_group[i]]`.
+    weights: Vec<u64>,
+    weight_group: Vec<usize>,
+    neighbor_vars: BTreeSet<VariableId>,
+    neighbor_agents: BTreeSet<AgentId>,
+    view: BTreeMap<VariableId, Value>,
+    phase: Phase,
+    ok_pending: BTreeMap<VariableId, Value>,
+    improve_pending: BTreeMap<AgentId, u64>,
+    /// Computed during the `ok?` wave for use in the `improve` wave.
+    planned_value: Value,
+    my_improve: u64,
+    my_eval: u64,
+    violated_now: Vec<usize>,
+    stats: AgentStats,
+}
+
+impl DbaAgent {
+    /// Creates an agent for `var` with its relevant nogoods and
+    /// neighborhood, all weights starting at 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_value` is outside `domain`.
+    pub fn new(
+        id: AgentId,
+        var: VariableId,
+        domain: Domain,
+        initial_value: Value,
+        nogoods: Vec<Nogood>,
+        neighbors: Vec<(VariableId, AgentId)>,
+        mode: WeightMode,
+    ) -> Self {
+        assert!(
+            domain.contains(initial_value),
+            "initial value {initial_value} outside domain {domain}"
+        );
+        let store = NogoodStore::with_nogoods(nogoods);
+        let (weights, weight_group) = match mode {
+            WeightMode::PerNogood => {
+                let groups: Vec<usize> = (0..store.len()).collect();
+                (vec![1; store.len()], groups)
+            }
+            WeightMode::PerPair => {
+                let mut group_of: BTreeMap<Vec<VariableId>, usize> = BTreeMap::new();
+                let mut groups = Vec::with_capacity(store.len());
+                for ng in store.iter() {
+                    let key: Vec<VariableId> = ng.vars().filter(|&v| v != var).collect();
+                    let next = group_of.len();
+                    let g = *group_of.entry(key).or_insert(next);
+                    groups.push(g);
+                }
+                (vec![1; group_of.len()], groups)
+            }
+        };
+        DbaAgent {
+            id,
+            var,
+            domain,
+            value: initial_value,
+            store,
+            weights,
+            weight_group,
+            neighbor_vars: neighbors.iter().map(|&(v, _)| v).collect(),
+            neighbor_agents: neighbors.iter().map(|&(_, a)| a).collect(),
+            view: BTreeMap::new(),
+            phase: Phase::WaitOk,
+            ok_pending: BTreeMap::new(),
+            improve_pending: BTreeMap::new(),
+            planned_value: initial_value,
+            my_improve: 0,
+            my_eval: 0,
+            violated_now: Vec::new(),
+            stats: AgentStats::default(),
+        }
+    }
+
+    /// The variable this agent owns.
+    pub fn var(&self) -> VariableId {
+        self.var
+    }
+
+    /// The variable's current value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// The current weight of the nogood at store index `index`.
+    pub fn weight_of(&self, index: usize) -> Option<u64> {
+        self.weight_group.get(index).map(|&g| self.weights[g])
+    }
+
+    /// Metered weighted cost of taking `value` under the current view,
+    /// together with the violated store indices.
+    fn eval_value(&self, value: Value) -> (u64, Vec<usize>) {
+        let lookup = |v: VariableId| -> Option<Value> {
+            if v == self.var {
+                Some(value)
+            } else {
+                self.view.get(&v).copied()
+            }
+        };
+        let mut cost = 0u64;
+        let mut violated = Vec::new();
+        for i in 0..self.store.len() {
+            let ng = self.store.get(i).expect("index in range");
+            if self.store.eval(ng, lookup) {
+                cost += self.weights[self.weight_group[i]];
+                violated.push(i);
+            }
+        }
+        (cost, violated)
+    }
+
+    fn send_ok(&self, out: &mut Outbox<DbaMessage>) {
+        for &peer in &self.neighbor_agents {
+            out.send(
+                peer,
+                DbaMessage::Ok {
+                    var: self.var,
+                    value: self.value,
+                },
+            );
+        }
+    }
+
+    /// Runs the `ok?` wave: absorb neighbor values, compute eval /
+    /// improve / planned move, broadcast `improve`.
+    fn process_ok_wave(&mut self, out: &mut Outbox<DbaMessage>) {
+        for (var, value) in std::mem::take(&mut self.ok_pending) {
+            self.view.insert(var, value);
+        }
+        let (eval, violated) = self.eval_value(self.value);
+        self.my_eval = eval;
+        self.violated_now = violated;
+        // Best alternative value.
+        let mut best_value = self.value;
+        let mut best_cost = eval;
+        for d in self.domain.iter() {
+            if d == self.value {
+                continue;
+            }
+            let (cost, _) = self.eval_value(d);
+            if cost < best_cost {
+                best_cost = cost;
+                best_value = d;
+            }
+        }
+        self.planned_value = best_value;
+        self.my_improve = eval - best_cost;
+        for &peer in &self.neighbor_agents {
+            out.send(
+                peer,
+                DbaMessage::Improve {
+                    improve: self.my_improve,
+                    eval: self.my_eval,
+                },
+            );
+        }
+        self.phase = Phase::WaitImprove;
+    }
+
+    /// Runs the `improve` wave: arbitrate the right to move, move or
+    /// break out, broadcast `ok?`.
+    fn process_improve_wave(&mut self, out: &mut Outbox<DbaMessage>) {
+        let improves = std::mem::take(&mut self.improve_pending);
+        // The right to change: strictly larger improve than every
+        // neighbor, ties broken toward the smaller agent id.
+        let wins = self.my_improve > 0
+            && improves.iter().all(|(&agent, &imp)| {
+                self.my_improve > imp || (self.my_improve == imp && self.id < agent)
+            });
+        let nobody_improves = self.my_improve == 0 && improves.values().all(|&imp| imp == 0);
+        if wins {
+            self.value = self.planned_value;
+        } else if self.my_eval > 0 && nobody_improves {
+            // Quasi-local-minimum: breakout — raise the weight of every
+            // currently violated nogood.
+            for &i in &self.violated_now {
+                self.weights[self.weight_group[i]] += 1;
+            }
+        }
+        self.send_ok(out);
+        self.phase = Phase::WaitOk;
+    }
+
+    fn wave_ready(&self) -> bool {
+        match self.phase {
+            Phase::WaitOk => self
+                .neighbor_vars
+                .iter()
+                .all(|v| self.ok_pending.contains_key(v)),
+            Phase::WaitImprove => self
+                .neighbor_agents
+                .iter()
+                .all(|a| self.improve_pending.contains_key(a)),
+        }
+    }
+}
+
+impl DistributedAgent for DbaAgent {
+    type Message = DbaMessage;
+
+    fn id(&self) -> AgentId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<DbaMessage>) {
+        if self.neighbor_agents.is_empty() {
+            // Isolated variable: settle its (unary) nogoods immediately —
+            // no waves will ever run.
+            let (_, _) = self.eval_value(self.value);
+            let best = self
+                .domain
+                .iter()
+                .min_by_key(|&d| self.eval_value(d).0)
+                .expect("nonempty domain");
+            self.value = best;
+            return;
+        }
+        self.send_ok(out);
+    }
+
+    fn on_batch(&mut self, inbox: Vec<Envelope<DbaMessage>>, out: &mut Outbox<DbaMessage>) {
+        if self.neighbor_agents.is_empty() {
+            // An isolated variable has no waves to run (and already
+            // settled at start); without this guard the vacuously-ready
+            // wave loop below would spin forever.
+            return;
+        }
+        for env in inbox {
+            match env.payload {
+                DbaMessage::Ok { var, value } => {
+                    self.ok_pending.insert(var, value);
+                }
+                DbaMessage::Improve { improve, .. } => {
+                    self.improve_pending.insert(env.from, improve);
+                }
+            }
+        }
+        // A buffered backlog can complete several waves back to back
+        // (possible on the asynchronous runtime).
+        while self.wave_ready() {
+            match self.phase {
+                Phase::WaitOk => self.process_ok_wave(out),
+                Phase::WaitImprove => self.process_improve_wave(out),
+            }
+        }
+    }
+
+    fn assignments(&self) -> Vec<VarValue> {
+        vec![VarValue::new(self.var, self.value)]
+    }
+
+    fn take_checks(&mut self) -> u64 {
+        self.store.take_checks()
+    }
+
+    fn stats(&self) -> AgentStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> VariableId {
+        VariableId::new(i)
+    }
+    fn v(i: u16) -> Value {
+        Value::new(i)
+    }
+
+    fn two_agent_pair(mode: WeightMode) -> DbaAgent {
+        DbaAgent::new(
+            AgentId::new(0),
+            x(0),
+            Domain::new(2),
+            v(0),
+            vec![
+                Nogood::of([(x(0), v(0)), (x(1), v(0))]),
+                Nogood::of([(x(0), v(1)), (x(1), v(1))]),
+            ],
+            vec![(x(1), AgentId::new(1))],
+            mode,
+        )
+    }
+
+    #[test]
+    fn eval_counts_weighted_violations() {
+        let mut agent = two_agent_pair(WeightMode::PerNogood);
+        agent.view.insert(x(1), v(0));
+        let (cost, violated) = agent.eval_value(v(0));
+        assert_eq!(cost, 1);
+        assert_eq!(violated, vec![0]);
+        let (cost, violated) = agent.eval_value(v(1));
+        assert_eq!(cost, 0);
+        assert!(violated.is_empty());
+        // Four checks were metered (two nogoods × two evaluations).
+        assert_eq!(agent.store.take_checks(), 4);
+    }
+
+    #[test]
+    fn ok_wave_computes_improve_and_plans_move() {
+        let mut agent = two_agent_pair(WeightMode::PerNogood);
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                DbaMessage::Ok {
+                    var: x(1),
+                    value: v(0),
+                },
+            )],
+            &mut out,
+        );
+        assert_eq!(agent.my_eval, 1);
+        assert_eq!(agent.my_improve, 1);
+        assert_eq!(agent.planned_value, v(1));
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(
+            msgs[0].payload,
+            DbaMessage::Improve {
+                improve: 1,
+                eval: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn improve_wave_moves_winner_only() {
+        let mut agent = two_agent_pair(WeightMode::PerNogood);
+        let mut out = Outbox::new(agent.id());
+        // ok? wave: neighbor at 0 → conflict, improve 1.
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                DbaMessage::Ok {
+                    var: x(1),
+                    value: v(0),
+                },
+            )],
+            &mut out,
+        );
+        // improve wave: neighbor also has improve 1 — tie, smaller id
+        // (this agent) wins.
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                DbaMessage::Improve {
+                    improve: 1,
+                    eval: 1,
+                },
+            )],
+            &mut out,
+        );
+        assert_eq!(agent.value(), v(1));
+    }
+
+    #[test]
+    fn improve_tie_loses_to_smaller_neighbor_id() {
+        let mut agent = DbaAgent::new(
+            AgentId::new(5),
+            x(5),
+            Domain::new(2),
+            v(0),
+            vec![Nogood::of([(x(5), v(0)), (x(1), v(0))])],
+            vec![(x(1), AgentId::new(1))],
+            WeightMode::PerNogood,
+        );
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(5),
+                DbaMessage::Ok {
+                    var: x(1),
+                    value: v(0),
+                },
+            )],
+            &mut out,
+        );
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(5),
+                DbaMessage::Improve {
+                    improve: 1,
+                    eval: 1,
+                },
+            )],
+            &mut out,
+        );
+        // Tie at improve 1 but neighbor id 1 < 5: stay put.
+        assert_eq!(agent.value(), v(0));
+    }
+
+    #[test]
+    fn quasi_local_minimum_triggers_breakout() {
+        // Both of this agent's values conflict with the neighbor's fixed
+        // state: improve 0, eval > 0 for everyone → weights escalate.
+        let mut agent = DbaAgent::new(
+            AgentId::new(0),
+            x(0),
+            Domain::new(2),
+            v(0),
+            vec![
+                Nogood::of([(x(0), v(0)), (x(1), v(0))]),
+                Nogood::of([(x(0), v(1)), (x(1), v(0))]),
+            ],
+            vec![(x(1), AgentId::new(1))],
+            WeightMode::PerNogood,
+        );
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                DbaMessage::Ok {
+                    var: x(1),
+                    value: v(0),
+                },
+            )],
+            &mut out,
+        );
+        assert_eq!(agent.my_improve, 0);
+        assert_eq!(agent.weight_of(0), Some(1));
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                DbaMessage::Improve {
+                    improve: 0,
+                    eval: 1,
+                },
+            )],
+            &mut out,
+        );
+        // Only the violated nogood's weight rose.
+        assert_eq!(agent.weight_of(0), Some(2));
+        assert_eq!(agent.weight_of(1), Some(1));
+    }
+
+    #[test]
+    fn per_pair_mode_groups_by_foreign_vars() {
+        let agent = two_agent_pair(WeightMode::PerPair);
+        // Both nogoods share the foreign set {x1}: one weight group.
+        assert_eq!(agent.weights.len(), 1);
+        assert_eq!(agent.weight_group, vec![0, 0]);
+    }
+
+    #[test]
+    fn isolated_agent_batch_terminates() {
+        // Regression: the simulator calls on_batch every cycle even with
+        // an empty inbox; a neighborless agent must return immediately
+        // instead of spinning in the vacuously-ready wave loop.
+        let mut agent = DbaAgent::new(
+            AgentId::new(0),
+            x(0),
+            Domain::new(2),
+            v(0),
+            vec![],
+            vec![],
+            WeightMode::PerNogood,
+        );
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(vec![], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn isolated_agent_settles_at_start() {
+        let mut agent = DbaAgent::new(
+            AgentId::new(0),
+            x(0),
+            Domain::new(2),
+            v(0),
+            vec![Nogood::of([(x(0), v(0))])],
+            vec![],
+            WeightMode::PerNogood,
+        );
+        let mut out = Outbox::new(agent.id());
+        agent.on_start(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(agent.value(), v(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_initial_value_rejected() {
+        let _ = DbaAgent::new(
+            AgentId::new(0),
+            x(0),
+            Domain::new(2),
+            v(9),
+            vec![],
+            vec![],
+            WeightMode::PerNogood,
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! The distributed breakout message protocol.
+
+use std::fmt;
+
+use discsp_core::{Value, VariableId};
+use discsp_runtime::{Classify, MessageClass};
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged by DB agents (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbaMessage {
+    /// `ok?` — announces the sender's current value.
+    Ok {
+        /// The announced variable.
+        var: VariableId,
+        /// Its current value.
+        value: Value,
+    },
+    /// `improve` — announces the sender's possible maximal improvement
+    /// and current cost, so neighbors can arbitrate the right to move.
+    Improve {
+        /// The sender's best achievable cost reduction.
+        improve: u64,
+        /// The sender's current weighted violation cost.
+        eval: u64,
+    },
+}
+
+impl Classify for DbaMessage {
+    fn class(&self) -> MessageClass {
+        match self {
+            DbaMessage::Ok { .. } => MessageClass::Ok,
+            DbaMessage::Improve { .. } => MessageClass::Other,
+        }
+    }
+}
+
+impl fmt::Display for DbaMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbaMessage::Ok { var, value } => write!(f, "ok?({var}={value})"),
+            DbaMessage::Improve { improve, eval } => {
+                write!(f, "improve({improve}, eval {eval})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_display() {
+        let ok = DbaMessage::Ok {
+            var: VariableId::new(1),
+            value: Value::new(2),
+        };
+        assert_eq!(ok.class(), MessageClass::Ok);
+        assert_eq!(ok.to_string(), "ok?(x1=2)");
+        let imp = DbaMessage::Improve {
+            improve: 3,
+            eval: 5,
+        };
+        assert_eq!(imp.class(), MessageClass::Other);
+        assert_eq!(imp.to_string(), "improve(3, eval 5)");
+    }
+}

@@ -1,0 +1,242 @@
+//! Propositional CNF formulas for the 3SAT benchmarks.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A literal: a Boolean variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// Variable index (0-based).
+    pub var: u32,
+    /// `true` for the positive literal, `false` for the negation.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Creates a literal.
+    pub const fn new(var: u32, positive: bool) -> Self {
+        Lit { var, positive }
+    }
+
+    /// Whether the literal is true under `model`.
+    pub fn eval(self, model: &[bool]) -> bool {
+        model[self.var as usize] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A disjunctive clause in canonical form (sorted, distinct variables).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two literals mention the same variable (duplicated or
+    /// complementary literals are construction bugs in the generators).
+    pub fn new<I: IntoIterator<Item = Lit>>(lits: I) -> Self {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort();
+        for pair in lits.windows(2) {
+            assert!(
+                pair[0].var != pair[1].var,
+                "clause mentions variable x{} twice",
+                pair[0].var
+            );
+        }
+        Clause { lits }
+    }
+
+    /// The literals in variable order.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether the clause is satisfied by `model`.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(model))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_probgen::{Clause, Cnf, Lit};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.push(Clause::new([Lit::new(0, true), Lit::new(1, false)]));
+/// assert!(cnf.eval(&[true, true]));
+/// assert!(!cnf.eval(&[false, true]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+    seen: BTreeSet<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: u32) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Appends `clause`; returns `false` if an identical clause is
+    /// already present (the formula is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the clause mentions an out-of-range variable.
+    pub fn push(&mut self, clause: Clause) -> bool {
+        for l in clause.lits() {
+            assert!(l.var < self.num_vars, "literal variable out of range");
+        }
+        if self.seen.contains(&clause) {
+            return false;
+        }
+        self.seen.insert(clause.clone());
+        self.clauses.push(clause);
+        true
+    }
+
+    /// Whether an identical clause is present.
+    pub fn contains(&self, clause: &Clause) -> bool {
+        self.seen.contains(clause)
+    }
+
+    /// The clauses in insertion order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Whether `model` satisfies every clause.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(model))
+    }
+
+    /// Clause/variable ratio `m / n`.
+    pub fn ratio(&self) -> f64 {
+        self.clauses.len() as f64 / self.num_vars as f64
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cnf[{} vars, {} clauses]",
+            self.num_vars,
+            self.clauses.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_evaluation() {
+        let model = [true, false];
+        assert!(Lit::new(0, true).eval(&model));
+        assert!(!Lit::new(0, false).eval(&model));
+        assert!(Lit::new(1, false).eval(&model));
+        assert_eq!(Lit::new(1, false).to_string(), "¬x1");
+    }
+
+    #[test]
+    fn clause_canonicalizes_and_evaluates() {
+        let c = Clause::new([Lit::new(2, true), Lit::new(0, false)]);
+        assert_eq!(c.lits()[0].var, 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.eval(&[false, true, false]));
+        assert!(!c.eval(&[true, true, false]));
+        assert_eq!(c.to_string(), "(¬x0 ∨ x2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_variable_rejected() {
+        Clause::new([Lit::new(0, true), Lit::new(0, false)]);
+    }
+
+    #[test]
+    fn empty_clause_is_falsum() {
+        let c = Clause::new([]);
+        assert!(c.is_empty());
+        assert!(!c.eval(&[true]));
+    }
+
+    #[test]
+    fn cnf_deduplicates() {
+        let mut cnf = Cnf::new(3);
+        let c = Clause::new([Lit::new(0, true), Lit::new(1, true)]);
+        assert!(cnf.push(c.clone()));
+        assert!(!cnf.push(c.clone()));
+        assert!(cnf.contains(&c));
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!((cnf.ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cnf.to_string(), "cnf[3 vars, 1 clauses]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_rejected() {
+        let mut cnf = Cnf::new(1);
+        cnf.push(Clause::new([Lit::new(5, true)]));
+    }
+}

@@ -1,0 +1,158 @@
+//! DIMACS graph (`.col`) reading and writing.
+//!
+//! The standard exchange format of the DIMACS graph-coloring challenge:
+//! a `p edge <nodes> <edges>` header followed by `e <u> <v>` lines
+//! (1-based endpoints). Provided so externally published coloring
+//! benchmarks can be run through the distributed solvers.
+
+use std::io::{BufRead, Write};
+
+use crate::dimacs::DimacsError;
+use crate::graph::Graph;
+
+/// Parses a DIMACS `.col` graph document.
+///
+/// Comment lines (`c …`) are ignored; duplicate edges are merged;
+/// self-loops are rejected.
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] describing the first problem encountered.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_probgen::read_col;
+///
+/// let text = "c triangle\np edge 3 3\ne 1 2\ne 2 3\ne 1 3\n";
+/// let graph = read_col(text.as_bytes())?;
+/// assert_eq!(graph.num_nodes(), 3);
+/// assert_eq!(graph.num_edges(), 3);
+/// # Ok::<(), discsp_probgen::DimacsError>(())
+/// ```
+pub fn read_col<R: BufRead>(reader: R) -> Result<Graph, DimacsError> {
+    let mut graph: Option<Graph> = None;
+    for line in reader.lines() {
+        let line = line.map_err(|e| DimacsError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 3 || (fields[0] != "edge" && fields[0] != "edges") {
+                return Err(DimacsError::BadHeader(trimmed.to_string()));
+            }
+            let nodes: u32 = fields[1]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(trimmed.to_string()))?;
+            graph = Some(Graph::new(nodes));
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('e') {
+            let Some(graph) = graph.as_mut() else {
+                return Err(DimacsError::BadHeader(trimmed.to_string()));
+            };
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 2 {
+                return Err(DimacsError::BadLiteral(trimmed.to_string()));
+            }
+            let u: i64 = fields[0]
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(fields[0].to_string()))?;
+            let w: i64 = fields[1]
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(fields[1].to_string()))?;
+            if u < 1
+                || w < 1
+                || u as u64 > graph.num_nodes() as u64
+                || w as u64 > graph.num_nodes() as u64
+            {
+                return Err(DimacsError::VariableOutOfRange(u.min(w)));
+            }
+            if u == w {
+                return Err(DimacsError::RepeatedVariable(u as u32 - 1));
+            }
+            graph.add_edge(u as u32 - 1, w as u32 - 1);
+            continue;
+        }
+        return Err(DimacsError::BadLiteral(trimmed.to_string()));
+    }
+    graph.ok_or_else(|| DimacsError::BadHeader("<missing>".to_string()))
+}
+
+/// Writes `graph` in DIMACS `.col` format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_col<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "p edge {} {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, w) in graph.edges() {
+        writeln!(writer, "e {} {}", u + 1, w + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::generate_coloring;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let inst = generate_coloring(20, 40, 3, 5);
+        let mut buf = Vec::new();
+        write_col(&inst.graph, &mut buf).unwrap();
+        let parsed = read_col(buf.as_slice()).unwrap();
+        assert_eq!(parsed, inst.graph);
+    }
+
+    #[test]
+    fn parses_comments_and_both_header_spellings() {
+        for header in ["p edge 2 1", "p edges 2 1"] {
+            let text = format!("c hello\n{header}\ne 1 2\n");
+            let graph = read_col(text.as_bytes()).unwrap();
+            assert!(graph.has_edge(0, 1));
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(
+            read_col("e 1 2\n".as_bytes()),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_col("".as_bytes()),
+            Err(DimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            read_col("p edge 2 1\ne 1 5\n".as_bytes()),
+            Err(DimacsError::VariableOutOfRange(_))
+        ));
+        assert!(matches!(
+            read_col("p edge 2 1\ne 1 1\n".as_bytes()),
+            Err(DimacsError::RepeatedVariable(0))
+        ));
+        assert!(matches!(
+            read_col("p edge 2 1\ne 1\n".as_bytes()),
+            Err(DimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            read_col("p edge 2 1\nx 1 2\n".as_bytes()),
+            Err(DimacsError::BadLiteral(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let text = "p edge 3 2\ne 1 2\ne 2 1\n";
+        let graph = read_col(text.as_bytes()).unwrap();
+        assert_eq!(graph.num_edges(), 1);
+    }
+}

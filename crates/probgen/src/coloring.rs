@@ -1,0 +1,173 @@
+//! Solvable random graph-coloring instances (the paper's distributed
+//! 3-coloring benchmark).
+//!
+//! §4: "We generate a solvable problem instance with m = 2.7n using the
+//! method in [Minton et al.]" — nodes are partitioned into k balanced
+//! color classes (a planted solution) and m distinct edges are drawn
+//! uniformly among pairs in *different* classes, so the planted coloring
+//! always remains a solution. m = 2.7n with k = 3 sits in the hard
+//! region identified by Cheeseman et al.
+
+use discsp_core::{Assignment, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// A generated coloring instance: the graph, the number of colors, and
+/// the planted solution that witnesses solvability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColoringInstance {
+    /// The constraint graph.
+    pub graph: Graph,
+    /// Number of colors.
+    pub colors: u16,
+    /// The planted coloring (one value per node).
+    pub planted: Vec<u16>,
+}
+
+impl ColoringInstance {
+    /// The planted solution as an [`Assignment`].
+    pub fn planted_assignment(&self) -> Assignment {
+        Assignment::total(self.planted.iter().map(|&c| Value::new(c)))
+    }
+}
+
+/// Generates a solvable `colors`-coloring instance over `n` nodes with
+/// `m` edges (planted-solution method).
+///
+/// # Panics
+///
+/// Panics when the parameters are degenerate: fewer nodes than colors,
+/// zero colors, or more edges than exist between distinct color classes.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_probgen::generate_coloring;
+///
+/// let inst = generate_coloring(30, 81, 3, 42); // m = 2.7 n
+/// assert_eq!(inst.graph.num_nodes(), 30);
+/// assert_eq!(inst.graph.num_edges(), 81);
+/// // The planted coloring is a proper coloring.
+/// for (u, w) in inst.graph.edges() {
+///     assert_ne!(inst.planted[u as usize], inst.planted[w as usize]);
+/// }
+/// ```
+pub fn generate_coloring(n: u32, m: usize, colors: u16, seed: u64) -> ColoringInstance {
+    assert!(colors > 0, "at least one color required");
+    assert!(
+        n as usize >= colors as usize,
+        "need at least one node per color"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Balanced planted classes: shuffle nodes, deal them round-robin.
+    let mut order: Vec<u32> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut planted = vec![0u16; n as usize];
+    for (i, &node) in order.iter().enumerate() {
+        planted[node as usize] = (i % colors as usize) as u16;
+    }
+
+    // Count available cross-class pairs to validate m.
+    let mut class_size = vec![0usize; colors as usize];
+    for &c in &planted {
+        class_size[c as usize] += 1;
+    }
+    let total_pairs = n as usize * (n as usize - 1) / 2;
+    let same_class_pairs: usize = class_size.iter().map(|&s| s * (s - 1) / 2).sum();
+    let cross_pairs = total_pairs - same_class_pairs;
+    assert!(
+        m <= cross_pairs,
+        "requested {m} edges but only {cross_pairs} cross-class pairs exist"
+    );
+
+    let mut graph = Graph::new(n);
+    while graph.num_edges() < m {
+        let u = rng.gen_range(0..n);
+        let w = rng.gen_range(0..n);
+        if u == w || planted[u as usize] == planted[w as usize] {
+            continue;
+        }
+        graph.add_edge(u, w);
+    }
+
+    ColoringInstance {
+        graph,
+        colors,
+        planted,
+    }
+}
+
+/// The paper's distributed 3-coloring parameters: `m = 2.7 n`, 3 colors.
+pub fn paper_coloring(n: u32, seed: u64) -> ColoringInstance {
+    let m = (2.7 * n as f64).round() as usize;
+    generate_coloring(n, m, 3, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_solution_is_proper() {
+        let inst = generate_coloring(60, 162, 3, 7);
+        assert_eq!(inst.graph.num_edges(), 162);
+        for (u, w) in inst.graph.edges() {
+            assert_ne!(
+                inst.planted[u as usize], inst.planted[w as usize],
+                "edge ({u},{w}) joins same-colored nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let inst = generate_coloring(61, 100, 3, 1);
+        let mut counts = [0usize; 3];
+        for &c in &inst.planted {
+            counts[c as usize] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1, "counts {counts:?} unbalanced");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_coloring(30, 81, 3, 5);
+        let b = generate_coloring(30, 81, 3, 5);
+        assert_eq!(a, b);
+        let c = generate_coloring(30, 81, 3, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let inst = paper_coloring(60, 3);
+        assert_eq!(inst.graph.num_edges(), 162);
+        assert_eq!(inst.colors, 3);
+    }
+
+    #[test]
+    fn planted_assignment_matches_vector() {
+        let inst = generate_coloring(10, 12, 3, 9);
+        let a = inst.planted_assignment();
+        for (i, &c) in inst.planted.iter().enumerate() {
+            assert_eq!(
+                a.get(discsp_core::VariableId::new(i as u32)),
+                Some(Value::new(c))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-class pairs")]
+    fn too_many_edges_rejected() {
+        // 3 nodes, 3 colors → 3 cross pairs; ask for 4.
+        generate_coloring(3, 4, 3, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Provided so the genuine AIM benchmark files (when available) can be
+//! dropped into the experiment harness in place of the reimplemented
+//! generators.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::cnf::{Clause, Cnf, Lit};
+
+/// Errors raised while parsing DIMACS CNF input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as a literal.
+    BadLiteral(String),
+    /// A literal references a variable beyond the header's count.
+    VariableOutOfRange(i64),
+    /// A clause repeats a variable (possibly with opposite polarity).
+    RepeatedVariable(u32),
+    /// The clause count in the header disagrees with the body.
+    ClauseCountMismatch {
+        /// Count declared in the header.
+        declared: usize,
+        /// Count actually parsed.
+        parsed: usize,
+    },
+    /// An underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::BadHeader(line) => write!(f, "malformed dimacs header: {line:?}"),
+            DimacsError::BadLiteral(tok) => write!(f, "malformed literal token: {tok:?}"),
+            DimacsError::VariableOutOfRange(v) => {
+                write!(f, "literal {v} exceeds the declared variable count")
+            }
+            DimacsError::RepeatedVariable(v) => {
+                write!(f, "clause repeats variable {}", v + 1)
+            }
+            DimacsError::ClauseCountMismatch { declared, parsed } => write!(
+                f,
+                "header declares {declared} clauses but {parsed} were parsed"
+            ),
+            DimacsError::Io(msg) => write!(f, "i/o failure: {msg}"),
+        }
+    }
+}
+
+impl Error for DimacsError {}
+
+/// Parses a DIMACS CNF document.
+///
+/// Comment lines (`c …`) and the `%`/`0` trailer emitted by some
+/// generators are ignored. Duplicate clauses are merged (the paper's
+/// generators never emit duplicates).
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] describing the first problem encountered.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_probgen::read_dimacs;
+///
+/// let text = "c tiny\np cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n";
+/// let cnf = read_dimacs(text.as_bytes())?;
+/// assert_eq!(cnf.num_vars(), 3);
+/// assert_eq!(cnf.num_clauses(), 2);
+/// # Ok::<(), discsp_probgen::DimacsError>(())
+/// ```
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, DimacsError> {
+    let mut cnf: Option<Cnf> = None;
+    let mut declared = 0usize;
+    let mut current: Vec<Lit> = Vec::new();
+    let mut parsed = 0usize;
+
+    for line in reader.lines() {
+        let line = line.map_err(|e| DimacsError::Io(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            if fields.len() != 4 || fields[1] != "cnf" {
+                return Err(DimacsError::BadHeader(trimmed.to_string()));
+            }
+            let vars: u32 = fields[2]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(trimmed.to_string()))?;
+            declared = fields[3]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(trimmed.to_string()))?;
+            cnf = Some(Cnf::new(vars));
+            continue;
+        }
+        let Some(cnf) = cnf.as_mut() else {
+            return Err(DimacsError::BadHeader(trimmed.to_string()));
+        };
+        for tok in trimmed.split_whitespace() {
+            let value: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if value == 0 {
+                if current.is_empty() {
+                    // Lenient handling of the "%\n0" trailer some
+                    // generators emit: a terminator with no pending
+                    // literals is not a clause.
+                    continue;
+                }
+                let lits = std::mem::take(&mut current);
+                for pair in {
+                    let mut sorted = lits.clone();
+                    sorted.sort();
+                    sorted
+                }
+                .windows(2)
+                {
+                    if pair[0].var == pair[1].var {
+                        return Err(DimacsError::RepeatedVariable(pair[0].var));
+                    }
+                }
+                cnf.push(Clause::new(lits));
+                parsed += 1;
+                continue;
+            }
+            let var = value.unsigned_abs() - 1;
+            if var >= cnf.num_vars() as u64 {
+                return Err(DimacsError::VariableOutOfRange(value));
+            }
+            current.push(Lit::new(var as u32, value > 0));
+        }
+    }
+    let Some(cnf) = cnf else {
+        return Err(DimacsError::BadHeader("<missing>".to_string()));
+    };
+    if parsed != declared {
+        return Err(DimacsError::ClauseCountMismatch { declared, parsed });
+    }
+    Ok(cnf)
+}
+
+/// Writes `cnf` in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_dimacs<W: Write>(cnf: &Cnf, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause.lits() {
+            let v = lit.var as i64 + 1;
+            write!(writer, "{} ", if lit.positive { v } else { -v })?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satgen::generate_sat3;
+
+    #[test]
+    fn roundtrip_preserves_formula() {
+        let inst = generate_sat3(12, 40, 3);
+        let mut buf = Vec::new();
+        write_dimacs(&inst.cnf, &mut buf).unwrap();
+        let parsed = read_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(parsed.num_vars(), inst.cnf.num_vars());
+        assert_eq!(parsed.clauses(), inst.cnf.clauses());
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let text = "c comment\n\np cnf 2 1\n  1   -2  0\n%\n0\n";
+        let cnf = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(
+            cnf.clauses()[0].lits(),
+            &[Lit::new(0, true), Lit::new(1, false)]
+        );
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let text = "p cnf 3 1\n1 2\n3 0\n";
+        let cnf = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_dimacs("1 2 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DimacsError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        let err = read_dimacs("p cnf x y\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DimacsError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_variable() {
+        let err = read_dimacs("p cnf 2 1\n5 0\n".as_bytes()).unwrap_err();
+        assert_eq!(err, DimacsError::VariableOutOfRange(5));
+    }
+
+    #[test]
+    fn rejects_bad_literal() {
+        let err = read_dimacs("p cnf 2 1\nfoo 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DimacsError::BadLiteral(_)));
+    }
+
+    #[test]
+    fn rejects_repeated_variable() {
+        let err = read_dimacs("p cnf 2 1\n1 -1 0\n".as_bytes()).unwrap_err();
+        assert_eq!(err, DimacsError::RepeatedVariable(0));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let err = read_dimacs("p cnf 2 3\n1 0\n".as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            DimacsError::ClauseCountMismatch {
+                declared: 3,
+                parsed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = DimacsError::ClauseCountMismatch {
+            declared: 2,
+            parsed: 1,
+        };
+        assert!(e.to_string().contains("declares 2"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Encoders from benchmark instances to [`DistributedCsp`] problems, one
+//! variable per agent (the paper's arrangement).
+
+use discsp_core::{CoreError, DistributedCsp, Domain};
+
+use crate::cnf::Cnf;
+use crate::coloring::ColoringInstance;
+use crate::graph::Graph;
+
+/// Encodes a coloring instance as a distributed CSP: one node per agent,
+/// each arc expanded into the pairwise equal-color nogoods.
+///
+/// # Errors
+///
+/// Propagates builder validation errors (cannot occur for instances
+/// produced by [`crate::generate_coloring`]).
+pub fn coloring_to_discsp(instance: &ColoringInstance) -> Result<DistributedCsp, CoreError> {
+    let mut b = DistributedCsp::builder();
+    let vars: Vec<_> = (0..instance.graph.num_nodes())
+        .map(|_| b.variable(Domain::new(instance.colors)))
+        .collect();
+    for (u, w) in instance.graph.edges() {
+        b.not_equal(vars[u as usize], vars[w as usize])?;
+    }
+    b.build()
+}
+
+/// Encodes a bare graph as a distributed `colors`-coloring CSP (one node
+/// per agent) — the entry point for externally supplied `.col` files.
+///
+/// # Errors
+///
+/// Propagates builder validation errors (cannot occur for well-formed
+/// [`Graph`] values).
+pub fn graph_to_discsp(graph: &Graph, colors: u16) -> Result<DistributedCsp, CoreError> {
+    let mut b = DistributedCsp::builder();
+    let vars: Vec<_> = (0..graph.num_nodes())
+        .map(|_| b.variable(Domain::new(colors)))
+        .collect();
+    for (u, w) in graph.edges() {
+        b.not_equal(vars[u as usize], vars[w as usize])?;
+    }
+    b.build()
+}
+
+/// Encodes a CNF formula as a distributed CSP: one Boolean variable per
+/// agent, each clause becoming the nogood that prohibits all its literals
+/// being false simultaneously.
+///
+/// # Errors
+///
+/// Fails on tautological clauses (cannot occur for [`crate::Clause`]
+/// values, whose constructor rejects duplicate variables) or empty
+/// formulas.
+pub fn cnf_to_discsp(cnf: &Cnf) -> Result<DistributedCsp, CoreError> {
+    let mut b = DistributedCsp::builder();
+    let vars: Vec<_> = (0..cnf.num_vars())
+        .map(|_| b.variable(Domain::BOOL))
+        .collect();
+    for clause in cnf.clauses() {
+        let literals: Vec<_> = clause
+            .lits()
+            .iter()
+            .map(|l| (vars[l.var as usize], l.positive))
+            .collect();
+        b.clause(&literals)?;
+    }
+    b.build()
+}
+
+/// Converts a Boolean model to an [`discsp_core::Assignment`] over the
+/// encoded problem.
+pub fn model_to_assignment(model: &[bool]) -> discsp_core::Assignment {
+    discsp_core::Assignment::total(model.iter().map(|&b| discsp_core::Value::from_bool(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+    use crate::coloring::generate_coloring;
+    use crate::satgen::generate_sat3;
+
+    #[test]
+    fn coloring_encoding_matches_structure() {
+        let inst = generate_coloring(12, 20, 3, 1);
+        let p = coloring_to_discsp(&inst).unwrap();
+        assert_eq!(p.num_vars(), 12);
+        assert_eq!(p.num_agents(), 12);
+        // 20 arcs × 3 colors.
+        assert_eq!(p.nogoods().len(), 60);
+        // The planted coloring solves the encoded problem.
+        assert!(p.is_solution(&inst.planted_assignment()));
+    }
+
+    #[test]
+    fn cnf_encoding_matches_semantics() {
+        let inst = generate_sat3(10, 43, 2);
+        let p = cnf_to_discsp(&inst.cnf).unwrap();
+        assert_eq!(p.num_vars(), 10);
+        assert_eq!(p.nogoods().len(), 43);
+        let planted = model_to_assignment(&inst.planted);
+        assert!(p.is_solution(&planted));
+        // Semantics agree on random models.
+        let models = crate::satgen::random_models(10, 20, 7);
+        for m in models {
+            let a = model_to_assignment(&m);
+            assert_eq!(inst.cnf.eval(&m), p.is_solution(&a));
+        }
+    }
+
+    #[test]
+    fn graph_encoding_matches_coloring_encoding() {
+        let inst = generate_coloring(10, 15, 3, 2);
+        let via_instance = coloring_to_discsp(&inst).unwrap();
+        let via_graph = graph_to_discsp(&inst.graph, 3).unwrap();
+        assert_eq!(via_instance, via_graph);
+    }
+
+    #[test]
+    fn unit_clause_encodes_as_unary_nogood() {
+        let mut cnf = Cnf::new(2);
+        cnf.push(Clause::new([Lit::new(0, true)]));
+        let p = cnf_to_discsp(&cnf).unwrap();
+        assert_eq!(p.nogoods().len(), 1);
+        assert_eq!(p.nogoods()[0].len(), 1);
+        // x0 must be true.
+        assert!(!p.is_solution(&model_to_assignment(&[false, true])));
+        assert!(p.is_solution(&model_to_assignment(&[true, true])));
+    }
+}

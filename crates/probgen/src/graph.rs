@@ -1,0 +1,128 @@
+//! Simple undirected graphs for coloring benchmarks.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph over nodes `0..n` with deduplicated edges.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_probgen::Graph;
+///
+/// let mut g = Graph::new(3);
+/// assert!(g.add_edge(0, 1));
+/// assert!(!g.add_edge(1, 0)); // same edge
+/// assert_eq!(g.num_edges(), 1);
+/// assert_eq!(g.degree(0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: u32,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph over `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Self {
+        Graph {
+            num_nodes,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the edge `{u, w}`. Returns `false` when the edge already
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: u32, w: u32) -> bool {
+        assert!(u != w, "self-loops are not allowed");
+        assert!(
+            u < self.num_nodes && w < self.num_nodes,
+            "edge endpoint out of range"
+        );
+        self.edges.insert((u.min(w), u.max(w)))
+    }
+
+    /// Whether the edge `{u, w}` exists.
+    pub fn has_edge(&self, u: u32, w: u32) -> bool {
+        self.edges.contains(&(u.min(w), u.max(w)))
+    }
+
+    /// Iterates over edges as `(low, high)` pairs in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == u || b == u)
+            .count()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph[{} nodes, {} edges]",
+            self.num_nodes,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(2, 1));
+        assert!(!g.add_edge(1, 2));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Graph::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn degree_counts_incident_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.to_string(), "graph[4 nodes, 3 edges]");
+    }
+}

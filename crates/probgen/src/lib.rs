@@ -1,0 +1,40 @@
+//! Benchmark instance generators for the paper's evaluation (§4).
+//!
+//! Three problem families, each generated from scratch with the
+//! documented substitutions for the unavailable DIMACS AIM files:
+//!
+//! * [`generate_coloring`] / [`paper_coloring`] — solvable distributed
+//!   3-coloring at m = 2.7n (planted-solution method of Minton et al.);
+//! * [`generate_sat3`] / [`paper_sat3`] — satisfiable distributed 3SAT
+//!   at m = 4.3n (3SAT-GEN-style planted generation);
+//! * [`generate_one_sat3`] / [`paper_one_sat3`] — *unique-solution*
+//!   distributed 3SAT at m = 3.4n (3ONESAT-GEN-style, uniqueness
+//!   verified by the centralized backtracker);
+//!
+//! plus DIMACS CNF I/O ([`read_dimacs`], [`write_dimacs`]) and DIMACS
+//! graph I/O ([`read_col`], [`write_col`]) for swapping
+//! in the genuine AIM instances, and encoders to [`DistributedCsp`]
+//! problems with one variable per agent.
+//!
+//! [`DistributedCsp`]: discsp_core::DistributedCsp
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod col;
+mod coloring;
+mod dimacs;
+mod encode;
+mod graph;
+mod onesatgen;
+mod satgen;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use col::{read_col, write_col};
+pub use coloring::{generate_coloring, paper_coloring, ColoringInstance};
+pub use dimacs::{read_dimacs, write_dimacs, DimacsError};
+pub use encode::{cnf_to_discsp, coloring_to_discsp, graph_to_discsp, model_to_assignment};
+pub use graph::Graph;
+pub use onesatgen::{generate_one_sat3, paper_one_sat3};
+pub use satgen::{generate_sat3, paper_sat3, random_models, SatInstance};

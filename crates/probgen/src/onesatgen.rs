@@ -1,0 +1,233 @@
+//! Unique-solution 3SAT instances in the style of Cha & Iwama's
+//! 3ONESAT-GEN (the AIM `yes1` family).
+//!
+//! The paper's hardest benchmark: "satisfiable 3SAT instances that have
+//! exactly one solution with a specified clause/variable ratio"
+//! (m = 3.4n), which Richards & Richards showed to be very hard for
+//! non-systematic search. The DIMACS AIM files are reimplemented by
+//! their construction principle — a *forcing chain* plus random fill:
+//!
+//! 1. Plant a random model `M` and a random variable order `v₁ … vₙ`.
+//! 2. Anchor `v₁` with the four clauses `('v₁ ∨ ±'v₂ ∨ ±'v₃)` covering
+//!    every polarity pattern of `v₂, v₃` (where `'x` denotes the literal
+//!    of `x` that is true under `M`): any assignment disagreeing with `M`
+//!    on `v₁` falsifies exactly one of them.
+//! 3. Anchor `v₂` with the two clauses `(¬'v₁ ∨ 'v₂ ∨ ±'v₃)`.
+//! 4. For each later `vᵢ`, add one implication clause
+//!    `(¬'a ∨ ¬'b ∨ 'vᵢ)` with distinct random sources `a, b` earlier in
+//!    the order: agreement on `a` and `b` forces agreement on `vᵢ`.
+//! 5. Fill with distinct random `M`-satisfied 3-clauses to the target
+//!    `m`, and shuffle.
+//!
+//! By induction over the order, `M` is the **only** model — uniqueness
+//! holds by construction (and is re-verified by the centralized solver in
+//! tests), while the instance keeps the target ratio exactly. Local and
+//! distributed hill-climbing see a large, deceptive space of near-models,
+//! reproducing the family's signature hardness for non-systematic search.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::cnf::{Clause, Cnf, Lit};
+use crate::satgen::{random_satisfied_clause, SatInstance};
+
+/// The literal of `var` that is true under `model`.
+fn agree(var: u32, model: &[bool]) -> Lit {
+    Lit::new(var, model[var as usize])
+}
+
+/// The literal of `var` that is false under `model`.
+fn disagree(var: u32, model: &[bool]) -> Lit {
+    Lit::new(var, !model[var as usize])
+}
+
+/// Generates a 3SAT instance over `n` variables with exactly `m` clauses
+/// and exactly one model (unique by construction).
+///
+/// # Panics
+///
+/// Panics when `n < 3`, when `m < n + 4` (the forcing chain alone needs
+/// that many clauses), or when `m` exceeds the number of distinct
+/// 3-clauses satisfiable by a fixed model.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_probgen::generate_one_sat3;
+///
+/// let inst = generate_one_sat3(12, 41, 7); // m ≈ 3.4 n
+/// assert!(inst.verified_unique);
+/// assert_eq!(inst.cnf.num_clauses(), 41);
+/// assert!(inst.cnf.eval(&inst.planted));
+/// ```
+pub fn generate_one_sat3(n: u32, m: usize, seed: u64) -> SatInstance {
+    assert!(n >= 3, "3SAT needs at least three variables");
+    assert!(
+        m >= n as usize + 4,
+        "m = {m} is below the n + 4 = {} clauses of the forcing chain",
+        n + 4
+    );
+    let choose3 = (n as usize) * (n as usize - 1) * (n as usize - 2) / 6;
+    assert!(
+        m <= 6 * choose3,
+        "requested {m} clauses but only about {} fill clauses exist",
+        6 * choose3
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planted: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let mut order: Vec<u32> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let (v1, v2, v3) = (order[0], order[1], order[2]);
+
+    let mut cnf = Cnf::new(n);
+    // Anchor v1: all four (v2, v3) polarity patterns.
+    for pattern in 0..4u8 {
+        let l2 = if pattern & 1 == 0 {
+            agree(v2, &planted)
+        } else {
+            disagree(v2, &planted)
+        };
+        let l3 = if pattern & 2 == 0 {
+            agree(v3, &planted)
+        } else {
+            disagree(v3, &planted)
+        };
+        cnf.push(Clause::new([agree(v1, &planted), l2, l3]));
+    }
+    // Anchor v2 given v1: both v3 polarities.
+    for pattern in 0..2u8 {
+        let l3 = if pattern == 0 {
+            agree(v3, &planted)
+        } else {
+            disagree(v3, &planted)
+        };
+        cnf.push(Clause::new([
+            disagree(v1, &planted),
+            agree(v2, &planted),
+            l3,
+        ]));
+    }
+    // Chain: each later variable forced by two random predecessors.
+    for i in 2..order.len() {
+        let target = order[i];
+        loop {
+            let a = order[rng.gen_range(0..i)];
+            let b = order[rng.gen_range(0..i)];
+            if a == b {
+                continue;
+            }
+            let clause = Clause::new([
+                disagree(a, &planted),
+                disagree(b, &planted),
+                agree(target, &planted),
+            ]);
+            // Rare collision with an anchor clause: redraw sources.
+            if cnf.push(clause) {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(cnf.num_clauses(), n as usize + 4);
+
+    // Random fill up to the target ratio.
+    while cnf.num_clauses() < m {
+        let clause = random_satisfied_clause(n, &planted, &mut rng);
+        cnf.push(clause);
+    }
+
+    // Hide the construction order.
+    let mut clauses: Vec<Clause> = cnf.clauses().to_vec();
+    clauses.shuffle(&mut rng);
+    let mut shuffled = Cnf::new(n);
+    for c in clauses {
+        shuffled.push(c);
+    }
+
+    SatInstance {
+        cnf: shuffled,
+        planted,
+        verified_unique: true,
+    }
+}
+
+/// The paper's 3ONESAT-GEN parameters: `m = 3.4 n`.
+pub fn paper_one_sat3(n: u32, seed: u64) -> SatInstance {
+    let m = (3.4 * n as f64).round() as usize;
+    generate_one_sat3(n, m, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{cnf_to_discsp, model_to_assignment};
+    use discsp_cspsolve::Backtracker;
+
+    #[test]
+    fn instance_has_exactly_one_model() {
+        for seed in 0..5 {
+            let inst = generate_one_sat3(12, 41, seed);
+            assert!(inst.verified_unique);
+            assert!(inst.cnf.eval(&inst.planted));
+            let problem = cnf_to_discsp(&inst.cnf).unwrap();
+            let models = Backtracker::new(&problem).enumerate(3);
+            assert_eq!(models.len(), 1, "seed {seed} not unique");
+            assert_eq!(models[0], model_to_assignment(&inst.planted));
+        }
+    }
+
+    #[test]
+    fn clause_count_is_exact() {
+        let inst = generate_one_sat3(20, 68, 3);
+        assert_eq!(inst.cnf.num_clauses(), 68);
+        assert!((inst.cnf.ratio() - 3.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_clauses_are_ternary() {
+        let inst = generate_one_sat3(15, 55, 9);
+        for c in inst.cnf.clauses() {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(generate_one_sat3(10, 34, 5), generate_one_sat3(10, 34, 5));
+        assert_ne!(generate_one_sat3(10, 34, 5), generate_one_sat3(10, 34, 6));
+    }
+
+    #[test]
+    fn paper_parameters_scale() {
+        let inst = paper_one_sat3(50, 2);
+        assert_eq!(inst.cnf.num_clauses(), 170);
+        assert!(inst.verified_unique);
+    }
+
+    #[test]
+    fn uniqueness_holds_at_paper_sizes() {
+        // The n = 50 instance must still be provably unique for the
+        // centralized solver (fast thanks to the forcing chain).
+        let inst = paper_one_sat3(50, 4);
+        let problem = cnf_to_discsp(&inst.cnf).unwrap();
+        let (count, complete) = Backtracker::new(&problem).count_models(2);
+        assert!(complete);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "forcing chain")]
+    fn too_few_clauses_rejected() {
+        generate_one_sat3(10, 10, 0);
+    }
+
+    #[test]
+    fn helper_literals() {
+        let model = [true, false];
+        assert_eq!(agree(0, &model), Lit::new(0, true));
+        assert_eq!(agree(1, &model), Lit::new(1, false));
+        assert_eq!(disagree(0, &model), Lit::new(0, false));
+        assert_eq!(disagree(1, &model), Lit::new(1, true));
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the benchmark generators: statistical sanity,
+//! file round trips, and hardness contrasts.
+
+use discsp_cspsolve::{Backtracker, MinConflicts, SolveResult};
+use discsp_probgen::{
+    cnf_to_discsp, coloring_to_discsp, generate_coloring, generate_one_sat3, generate_sat3,
+    paper_coloring, paper_one_sat3, paper_sat3, read_dimacs, write_dimacs,
+};
+
+#[test]
+fn coloring_instances_are_connected_enough() {
+    // At m = 2.7n the giant component should cover nearly everything;
+    // sanity-check that no more than a handful of nodes are isolated
+    // (isolated nodes are legal — the algorithms must cope — but a
+    // generator bug could silently disconnect everything).
+    let inst = paper_coloring(120, 5);
+    let isolated = (0..120).filter(|&u| inst.graph.degree(u) == 0).count();
+    assert!(isolated <= 3, "{isolated} isolated nodes");
+    let mean_degree = 2.0 * inst.graph.num_edges() as f64 / inst.graph.num_nodes() as f64;
+    assert!((mean_degree - 5.4).abs() < 0.01); // 2 × 2.7
+}
+
+#[test]
+fn coloring_instances_are_solvable_beyond_the_planted_witness() {
+    // The backtracker should find a proper coloring (not necessarily
+    // the planted one).
+    let inst = generate_coloring(40, 108, 3, 9);
+    let problem = coloring_to_discsp(&inst).unwrap();
+    let result = Backtracker::new(&problem).solve();
+    let solution = result.solution().expect("planted instances are solvable");
+    assert!(problem.is_solution(solution));
+}
+
+#[test]
+fn sat_instances_have_many_models_but_onesat_exactly_one() {
+    let plain = generate_sat3(20, 60, 3);
+    let plain_problem = cnf_to_discsp(&plain.cnf).unwrap();
+    let (count, _) = Backtracker::new(&plain_problem).count_models(50);
+    assert!(count > 1, "plain planted 3SAT at low ratio has many models");
+
+    let unique = generate_one_sat3(20, 68, 3);
+    let unique_problem = cnf_to_discsp(&unique.cnf).unwrap();
+    let (count, complete) = Backtracker::new(&unique_problem).count_models(50);
+    assert!(complete);
+    assert_eq!(count, 1);
+}
+
+#[test]
+fn paper_parameterizations_hit_exact_ratios() {
+    assert_eq!(paper_coloring(90, 1).graph.num_edges(), 243);
+    assert_eq!(paper_sat3(100, 1).cnf.num_clauses(), 430);
+    assert_eq!(paper_one_sat3(100, 1).cnf.num_clauses(), 340);
+    assert_eq!(paper_one_sat3(200, 1).cnf.num_clauses(), 680);
+}
+
+#[test]
+fn dimacs_file_round_trip_via_filesystem() {
+    let inst = paper_one_sat3(25, 7);
+    let dir = std::env::temp_dir().join("discsp-dimacs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("instance.cnf");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        write_dimacs(&inst.cnf, std::io::BufWriter::new(file)).unwrap();
+    }
+    let file = std::fs::File::open(&path).unwrap();
+    let parsed = read_dimacs(std::io::BufReader::new(file)).unwrap();
+    assert_eq!(parsed.clauses(), inst.cnf.clauses());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn unique_instances_resist_local_search_plain_ones_fall() {
+    // The Richards & Richards hardness contrast the paper builds on.
+    let plain = cnf_to_discsp(&paper_sat3(30, 2).cnf).unwrap();
+    let outcome = MinConflicts::new(5).max_steps(40_000).run(&plain);
+    assert!(outcome.solution.is_some());
+
+    let unique = cnf_to_discsp(&paper_one_sat3(30, 2).cnf).unwrap();
+    let outcome = MinConflicts::new(5).max_steps(40_000).run(&unique);
+    assert!(outcome.solution.is_none());
+}
+
+#[test]
+fn generators_respect_distinct_seeds_and_instances() {
+    let a = paper_coloring(30, 0);
+    let b = paper_coloring(30, 1);
+    assert_ne!(a, b);
+    let a = paper_one_sat3(30, 0);
+    let b = paper_one_sat3(30, 1);
+    assert_ne!(a.cnf.clauses(), b.cnf.clauses());
+}
+
+#[test]
+fn onesat_planted_model_survives_dimacs_round_trip_solving() {
+    // Full pipeline: generate → write → read → encode → solve → compare
+    // with the planted model.
+    let inst = paper_one_sat3(15, 11);
+    let mut buf = Vec::new();
+    write_dimacs(&inst.cnf, &mut buf).unwrap();
+    let reread = read_dimacs(buf.as_slice()).unwrap();
+    let problem = cnf_to_discsp(&reread).unwrap();
+    let result = Backtracker::new(&problem).solve();
+    match result {
+        SolveResult::Solution(model) => {
+            assert_eq!(model, discsp_probgen::model_to_assignment(&inst.planted));
+        }
+        other => panic!("expected a solution, got {other:?}"),
+    }
+}

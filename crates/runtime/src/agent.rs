@@ -1,0 +1,176 @@
+//! The agent abstraction shared by both runtimes.
+
+use discsp_core::{AgentId, VarValue};
+use serde::{Deserialize, Serialize};
+
+use crate::message::{Classify, Envelope, MessageClass};
+
+/// Outbound mailbox handed to an agent while it computes.
+///
+/// Agents queue messages here; the runtime takes them when the agent's
+/// turn ends and delivers them according to its own timing model (next
+/// cycle for the synchronous simulator, channel latency for the
+/// asynchronous runtime).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    from: AgentId,
+    queued: Vec<Envelope<M>>,
+}
+
+impl<M: Classify> Outbox<M> {
+    /// Creates an empty outbox for the agent `from`.
+    pub fn new(from: AgentId) -> Self {
+        Outbox {
+            from,
+            queued: Vec::new(),
+        }
+    }
+
+    /// Queues `payload` for delivery to `to`.
+    pub fn send(&mut self, to: AgentId, payload: M) {
+        self.queued.push(Envelope::new(self.from, to, payload));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued.is_empty()
+    }
+
+    /// Takes the queued messages, leaving the outbox empty.
+    pub fn drain(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.queued)
+    }
+
+    /// Counts queued messages per class (used by the runtimes' metering).
+    pub fn count_by_class(&self) -> (u64, u64, u64) {
+        let mut ok = 0;
+        let mut nogood = 0;
+        let mut other = 0;
+        for env in &self.queued {
+            match env.payload.class() {
+                MessageClass::Ok => ok += 1,
+                MessageClass::Nogood => nogood += 1,
+                MessageClass::Other => other += 1,
+            }
+        }
+        (ok, nogood, other)
+    }
+}
+
+/// Per-agent learning statistics reported to the runtimes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Nogoods generated at deadends (before any deduplication).
+    pub nogoods_generated: u64,
+    /// Generated nogoods identical to one this agent generated before
+    /// (Table 4's redundancy measure).
+    pub redundant_nogoods: u64,
+    /// Size of the largest nogood generated.
+    pub largest_nogood: u64,
+}
+
+impl AgentStats {
+    /// Accumulates another agent's statistics into this one.
+    pub fn absorb(&mut self, other: AgentStats) {
+        self.nogoods_generated += other.nogoods_generated;
+        self.redundant_nogoods += other.redundant_nogoods;
+        self.largest_nogood = self.largest_nogood.max(other.largest_nogood);
+    }
+}
+
+/// A message-driven DisCSP agent, executable on either runtime.
+///
+/// The contract mirrors the paper's synchronous cycle (§4): the runtime
+/// hands the agent *all* messages that arrived since its last turn, the
+/// agent updates its state and queues outgoing messages. The asynchronous
+/// runtime calls [`DistributedAgent::on_batch`] with whatever has drained
+/// from the agent's channel, which may be a single message.
+pub trait DistributedAgent {
+    /// The algorithm's message type.
+    type Message: Classify + Clone + Send + 'static;
+
+    /// This agent's identity.
+    fn id(&self) -> AgentId;
+
+    /// Called once before any message flows; typically announces the
+    /// initial value with `ok?` messages.
+    fn on_start(&mut self, out: &mut Outbox<Self::Message>);
+
+    /// Called with the messages received since the previous turn.
+    fn on_batch(&mut self, inbox: Vec<Envelope<Self::Message>>, out: &mut Outbox<Self::Message>);
+
+    /// The agent's current variable assignments (one entry per owned
+    /// variable), used by the observer to detect solutions.
+    fn assignments(&self) -> Vec<VarValue>;
+
+    /// Returns and resets the nogood checks performed since the last call
+    /// (feeds the `maxcck` metric).
+    fn take_checks(&mut self) -> u64;
+
+    /// Current learning statistics (monotonically growing).
+    fn stats(&self) -> AgentStats;
+
+    /// Whether this agent has derived the empty nogood, proving the
+    /// problem insoluble.
+    fn detected_insoluble(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageClass;
+
+    #[derive(Debug, Clone)]
+    enum Msg {
+        Hello,
+        Learned,
+    }
+
+    impl Classify for Msg {
+        fn class(&self) -> MessageClass {
+            match self {
+                Msg::Hello => MessageClass::Ok,
+                Msg::Learned => MessageClass::Nogood,
+            }
+        }
+    }
+
+    #[test]
+    fn outbox_queues_and_drains() {
+        let mut out = Outbox::new(AgentId::new(0));
+        assert!(out.is_empty());
+        out.send(AgentId::new(1), Msg::Hello);
+        out.send(AgentId::new(2), Msg::Learned);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.count_by_class(), (1, 1, 0));
+        let drained = out.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].from, AgentId::new(0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut total = AgentStats::default();
+        total.absorb(AgentStats {
+            nogoods_generated: 3,
+            redundant_nogoods: 1,
+            largest_nogood: 4,
+        });
+        total.absorb(AgentStats {
+            nogoods_generated: 2,
+            redundant_nogoods: 0,
+            largest_nogood: 2,
+        });
+        assert_eq!(total.nogoods_generated, 5);
+        assert_eq!(total.redundant_nogoods, 1);
+        assert_eq!(total.largest_nogood, 4);
+    }
+}

@@ -1,0 +1,393 @@
+//! The asynchronous runtime: one OS thread per agent, crossbeam channels
+//! as links.
+//!
+//! The paper's algorithms "are designed for a fully asynchronous
+//! distributed system, and thereby can work on any type of distributed
+//! systems" (§5). This runtime demonstrates exactly that: the same
+//! [`DistributedAgent`] implementations that run on the synchronous
+//! simulator run here with real concurrency, unordered cross-agent
+//! interleavings, and optional per-activation jitter.
+//!
+//! Solution detection uses the classic in-flight counting scheme: a global
+//! counter is incremented *before* a message is enqueued and decremented
+//! only *after* the receiving agent has processed it **and** enqueued its
+//! own reactions. `in_flight == 0` therefore implies global quiescence,
+//! and quiescence plus a consistent global snapshot implies a stable
+//! solution (agents only act on messages).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use discsp_core::{Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome};
+use parking_lot::Mutex;
+
+use crate::agent::{AgentStats, DistributedAgent, Outbox};
+use crate::message::{Envelope, MessageClass};
+use crate::seed::SplitMix64;
+
+/// Configuration of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Hard wall-clock limit; the run reports a cutoff when exceeded.
+    pub max_wall_time: Duration,
+    /// Upper bound (exclusive) of the uniform random delay, in
+    /// microseconds, injected before each agent activation. Zero disables
+    /// jitter.
+    pub jitter_micros: u64,
+    /// Seed for the jitter streams.
+    pub seed: u64,
+    /// When `true`, the observer stops at the *first* globally consistent
+    /// snapshot instead of requiring quiescence. This matches the paper's
+    /// measurement semantics ("cycles consumed until a solution is
+    /// found") and is required for algorithms whose protocol never goes
+    /// quiet, such as the distributed breakout's ok?/improve waves.
+    pub stop_on_first_solution: bool,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            max_wall_time: Duration::from_secs(30),
+            jitter_micros: 0,
+            seed: 0,
+            stop_on_first_solution: false,
+        }
+    }
+}
+
+/// Result of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncReport {
+    /// Metrics and solution. `cycles` and `maxcck` are synchronous-
+    /// simulator notions and are reported as 0 here; `total_checks` and
+    /// the message counters are exact.
+    pub outcome: TrialOutcome,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Total agent activations (batches processed, including starts).
+    pub activations: u64,
+}
+
+struct Shared {
+    in_flight: AtomicI64,
+    stop: AtomicBool,
+    insoluble: AtomicBool,
+    snapshot: Mutex<Assignment>,
+    started: AtomicI64,
+    activations: AtomicU64,
+    ok_messages: AtomicU64,
+    nogood_messages: AtomicU64,
+    other_messages: AtomicU64,
+}
+
+/// Runs `agents` asynchronously against `problem` until a stable solution,
+/// a proof of insolubility, or the wall-clock limit.
+///
+/// # Panics
+///
+/// Panics unless agent *i* reports id *i* (dense routing, as in the
+/// synchronous simulator), or if an agent thread panics.
+pub fn run_async<A>(agents: Vec<A>, problem: &DistributedCsp, config: &AsyncConfig) -> AsyncReport
+where
+    A: DistributedAgent + Send + 'static,
+{
+    for (i, agent) in agents.iter().enumerate() {
+        assert_eq!(
+            agent.id().index(),
+            i,
+            "agents must be supplied in dense id order"
+        );
+    }
+    let n = agents.len();
+    let shared = Arc::new(Shared {
+        in_flight: AtomicI64::new(0),
+        stop: AtomicBool::new(false),
+        insoluble: AtomicBool::new(false),
+        snapshot: Mutex::new(Assignment::empty(problem.num_vars())),
+        started: AtomicI64::new(0),
+        activations: AtomicU64::new(0),
+        ok_messages: AtomicU64::new(0),
+        nogood_messages: AtomicU64::new(0),
+        other_messages: AtomicU64::new(0),
+    });
+
+    let (senders, receivers): (Vec<Sender<Envelope<A::Message>>>, Vec<_>) =
+        (0..n).map(|_| unbounded()).unzip();
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (i, (mut agent, rx)) in agents.into_iter().zip(receivers).enumerate() {
+        let shared = Arc::clone(&shared);
+        let senders = senders.clone();
+        let jitter = config.jitter_micros;
+        let mut rng = SplitMix64::new(config.seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        handles.push(thread::spawn(move || {
+            worker(&mut agent, rx, &senders, &shared, jitter, &mut rng);
+            agent
+        }));
+    }
+
+    // Observer: wait for quiescent solution, insolubility, or timeout.
+    let mut termination = Termination::CutOff;
+    loop {
+        thread::sleep(Duration::from_micros(200));
+        if shared.insoluble.load(Ordering::SeqCst) {
+            termination = Termination::Insoluble;
+            break;
+        }
+        let all_started = shared.started.load(Ordering::SeqCst) as usize == n;
+        let quiescent = shared.in_flight.load(Ordering::SeqCst) == 0;
+        if all_started && (quiescent || config.stop_on_first_solution) {
+            let snapshot = shared.snapshot.lock();
+            if problem.is_solution(&snapshot) {
+                termination = Termination::Solved;
+                break;
+            }
+        }
+        if start.elapsed() > config.max_wall_time {
+            break;
+        }
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+
+    let mut metrics = RunMetrics::new(termination);
+    let mut agent_stats = AgentStats::default();
+    for handle in handles {
+        let mut agent = handle.join().expect("agent thread panicked");
+        metrics.total_checks += agent.take_checks();
+        agent_stats.absorb(agent.stats());
+    }
+    metrics.ok_messages = shared.ok_messages.load(Ordering::SeqCst);
+    metrics.nogood_messages = shared.nogood_messages.load(Ordering::SeqCst);
+    metrics.other_messages = shared.other_messages.load(Ordering::SeqCst);
+    metrics.nogoods_generated = agent_stats.nogoods_generated;
+    metrics.redundant_nogoods = agent_stats.redundant_nogoods;
+    metrics.largest_nogood = agent_stats.largest_nogood;
+
+    let solution = if termination == Termination::Solved {
+        Some(shared.snapshot.lock().clone())
+    } else {
+        None
+    };
+
+    AsyncReport {
+        outcome: TrialOutcome { metrics, solution },
+        wall_time: start.elapsed(),
+        activations: shared.activations.load(Ordering::SeqCst),
+    }
+}
+
+fn worker<A: DistributedAgent>(
+    agent: &mut A,
+    rx: Receiver<Envelope<A::Message>>,
+    senders: &[Sender<Envelope<A::Message>>],
+    shared: &Shared,
+    jitter_micros: u64,
+    rng: &mut SplitMix64,
+) {
+    // Start: announce initial values before reporting "started", so that
+    // quiescence cannot be observed before the initial wave is in flight.
+    let mut out = Outbox::new(agent.id());
+    agent.on_start(&mut out);
+    dispatch(out, senders, shared);
+    publish(agent, shared);
+    shared.activations.fetch_add(1, Ordering::SeqCst);
+    shared.started.fetch_add(1, Ordering::SeqCst);
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Block briefly for the first message, then drain what's there.
+        let first = match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        while let Ok(env) = rx.try_recv() {
+            batch.push(env);
+        }
+        if jitter_micros > 0 {
+            let delay = rng.next_below(jitter_micros);
+            thread::sleep(Duration::from_micros(delay));
+        }
+        let consumed = batch.len() as i64;
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(batch, &mut out);
+        // Enqueue reactions BEFORE decrementing what we consumed: in-flight
+        // can only reach zero when the whole causal chain has drained.
+        dispatch(out, senders, shared);
+        publish(agent, shared);
+        shared.activations.fetch_add(1, Ordering::SeqCst);
+        shared.in_flight.fetch_sub(consumed, Ordering::SeqCst);
+        if agent.detected_insoluble() {
+            shared.insoluble.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn dispatch<M: crate::message::Classify>(
+    mut out: Outbox<M>,
+    senders: &[Sender<Envelope<M>>],
+    shared: &Shared,
+) {
+    let msgs = out.drain();
+    shared
+        .in_flight
+        .fetch_add(msgs.len() as i64, Ordering::SeqCst);
+    for env in msgs {
+        match env.payload.class() {
+            MessageClass::Ok => shared.ok_messages.fetch_add(1, Ordering::SeqCst),
+            MessageClass::Nogood => shared.nogood_messages.fetch_add(1, Ordering::SeqCst),
+            MessageClass::Other => shared.other_messages.fetch_add(1, Ordering::SeqCst),
+        };
+        let to = env.to.index();
+        // A send can fail only during shutdown, when the receiver exited;
+        // the message no longer matters but the counter must stay exact.
+        if senders[to].send(env).is_err() {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn publish<A: DistributedAgent>(agent: &A, shared: &Shared) {
+    let mut snapshot = shared.snapshot.lock();
+    for vv in agent.assignments() {
+        snapshot.set(vv.var, vv.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentStats;
+    use crate::message::Classify;
+    use discsp_core::{AgentId, Domain, Nogood, Value, VarValue, VariableId};
+
+    /// Agents that must all agree on `true`: each starts `false` except
+    /// agent 0, and flips to the max value it has heard, gossiping changes
+    /// to the next agent in a ring.
+    #[derive(Debug, Clone)]
+    struct Gossip(Value);
+
+    impl Classify for Gossip {
+        fn class(&self) -> MessageClass {
+            MessageClass::Ok
+        }
+    }
+
+    struct RingAgent {
+        id: AgentId,
+        n: usize,
+        value: Value,
+    }
+
+    impl RingAgent {
+        fn next(&self) -> AgentId {
+            AgentId::new(((self.id.index() + 1) % self.n) as u32)
+        }
+    }
+
+    impl DistributedAgent for RingAgent {
+        type Message = Gossip;
+
+        fn id(&self) -> AgentId {
+            self.id
+        }
+
+        fn on_start(&mut self, out: &mut Outbox<Gossip>) {
+            out.send(self.next(), Gossip(self.value));
+        }
+
+        fn on_batch(&mut self, inbox: Vec<Envelope<Gossip>>, out: &mut Outbox<Gossip>) {
+            let mut changed = false;
+            for env in inbox {
+                if env.payload.0 > self.value {
+                    self.value = env.payload.0;
+                    changed = true;
+                }
+            }
+            if changed {
+                out.send(self.next(), Gossip(self.value));
+            }
+        }
+
+        fn assignments(&self) -> Vec<VarValue> {
+            vec![VarValue::new(VariableId::new(self.id.raw()), self.value)]
+        }
+
+        fn take_checks(&mut self) -> u64 {
+            0
+        }
+
+        fn stats(&self) -> AgentStats {
+            AgentStats::default()
+        }
+    }
+
+    fn all_true_problem(n: usize) -> DistributedCsp {
+        let mut b = DistributedCsp::builder();
+        let vars: Vec<_> = (0..n).map(|_| b.variable(Domain::BOOL)).collect();
+        for &v in &vars {
+            b.nogood(Nogood::of([(v, Value::FALSE)])).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn ring(n: usize) -> Vec<RingAgent> {
+        (0..n)
+            .map(|i| RingAgent {
+                id: AgentId::new(i as u32),
+                n,
+                value: Value::from_bool(i == 0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn async_run_converges_to_quiescent_solution() {
+        let problem = all_true_problem(5);
+        let report = run_async(ring(5), &problem, &AsyncConfig::default());
+        assert_eq!(report.outcome.metrics.termination, Termination::Solved);
+        let sol = report.outcome.solution.unwrap();
+        for i in 0..5 {
+            assert_eq!(sol.get(VariableId::new(i)), Some(Value::TRUE));
+        }
+        // 5 start messages + 4 propagation messages (agent 0 never flips).
+        assert_eq!(report.outcome.metrics.ok_messages, 9);
+        assert!(report.activations >= 5);
+    }
+
+    #[test]
+    fn async_run_with_jitter_still_converges() {
+        let problem = all_true_problem(4);
+        let config = AsyncConfig {
+            jitter_micros: 500,
+            seed: 7,
+            ..AsyncConfig::default()
+        };
+        let report = run_async(ring(4), &problem, &config);
+        assert_eq!(report.outcome.metrics.termination, Termination::Solved);
+    }
+
+    #[test]
+    fn async_run_times_out_on_unsolvable_gossip() {
+        // Nobody holds `true`, so the ring can never satisfy the problem;
+        // gossip quiesces at all-false, which is not a solution.
+        let problem = all_true_problem(3);
+        let mut agents = ring(3);
+        agents[0].value = Value::FALSE;
+        let config = AsyncConfig {
+            max_wall_time: Duration::from_millis(200),
+            ..AsyncConfig::default()
+        };
+        let report = run_async(agents, &problem, &config);
+        assert_eq!(report.outcome.metrics.termination, Termination::CutOff);
+        assert!(report.outcome.solution.is_none());
+    }
+}

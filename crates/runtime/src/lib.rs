@@ -1,0 +1,30 @@
+//! Distributed-system substrates for DisCSP algorithms.
+//!
+//! Two runtimes execute the same [`DistributedAgent`] implementations:
+//!
+//! * [`SyncSimulator`] — the synchronous cycle simulator the paper uses
+//!   for all measurements (§4): per cycle, every agent reads its inbox,
+//!   computes, and sends; `cycle` and `maxcck` metrics are collected here.
+//! * [`run_async`] — one OS thread per agent with crossbeam channels,
+//!   demonstrating the algorithms on a *fully asynchronous* system, with
+//!   quiescence-based solution detection via in-flight message counting.
+//!
+//! Plus deterministic seed derivation ([`SplitMix64`], [`derive_seed`])
+//! shared by the experiment harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod asynchronous;
+mod message;
+mod seed;
+mod sync;
+mod trace;
+
+pub use agent::{AgentStats, DistributedAgent, Outbox};
+pub use asynchronous::{run_async, AsyncConfig, AsyncReport};
+pub use message::{Classify, Envelope, MessageClass};
+pub use seed::{derive_seed, SplitMix64};
+pub use sync::{CycleRecord, SyncRun, SyncSimulator};
+pub use trace::{render_trace, TraceEvent};

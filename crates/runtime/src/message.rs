@@ -1,0 +1,96 @@
+//! Message envelopes and classification.
+
+use std::fmt;
+
+use discsp_core::AgentId;
+use serde::{Deserialize, Serialize};
+
+/// Broad message classes, used by the runtimes to attribute message counts
+/// to the paper's categories (`ok?`, `nogood`, everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// An `ok?` message announcing a value (and priority).
+    Ok,
+    /// A `nogood` message carrying a learned nogood.
+    Nogood,
+    /// Any other algorithm message (`improve`, add-link requests, …).
+    Other,
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageClass::Ok => "ok?",
+            MessageClass::Nogood => "nogood",
+            MessageClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Implemented by algorithm message types so runtimes can meter traffic
+/// without knowing the concrete protocol.
+pub trait Classify {
+    /// The broad class of this message.
+    fn class(&self) -> MessageClass;
+}
+
+/// A routed message: payload plus sender and recipient.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope<M> {
+    /// Sending agent.
+    pub from: AgentId,
+    /// Receiving agent.
+    pub to: AgentId,
+    /// Algorithm-specific payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope.
+    pub fn new(from: AgentId, to: AgentId, payload: M) -> Self {
+        Envelope { from, to, payload }
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for Envelope<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}: {}", self.from, self.to, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping;
+
+    impl Classify for Ping {
+        fn class(&self) -> MessageClass {
+            MessageClass::Other
+        }
+    }
+
+    impl fmt::Display for Ping {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("ping")
+        }
+    }
+
+    #[test]
+    fn envelope_construction_and_display() {
+        let env = Envelope::new(AgentId::new(0), AgentId::new(1), Ping);
+        assert_eq!(env.from, AgentId::new(0));
+        assert_eq!(env.to, AgentId::new(1));
+        assert_eq!(env.to_string(), "a0 → a1: ping");
+    }
+
+    #[test]
+    fn classes_display() {
+        assert_eq!(MessageClass::Ok.to_string(), "ok?");
+        assert_eq!(MessageClass::Nogood.to_string(), "nogood");
+        assert_eq!(MessageClass::Other.to_string(), "other");
+        assert_eq!(Ping.class(), MessageClass::Other);
+    }
+}

@@ -1,0 +1,129 @@
+//! Deterministic seed derivation.
+//!
+//! Experiments derive one seed per (instance, trial) pair from a master
+//! seed so that every table row is reproducible independently of execution
+//! order. The generator is SplitMix64 — tiny, well-distributed, and
+//! dependency-free.
+
+/// A SplitMix64 pseudo-random stream.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_runtime::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly below `bound` (`bound` must be nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        // Rejection-free multiply-shift; adequate for simulation jitter and
+        // seed mixing (not for statistics-critical sampling, which uses
+        // `rand` in `discsp-probgen`).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Derives a child seed for a named experiment stream.
+///
+/// Mixing is injective enough that distinct `(instance, trial)` pairs get
+/// unrelated streams.
+///
+/// # Examples
+///
+/// ```
+/// use discsp_runtime::derive_seed;
+///
+/// let s1 = derive_seed(7, 0, 1);
+/// let s2 = derive_seed(7, 1, 0);
+/// assert_ne!(s1, s2);
+/// ```
+pub fn derive_seed(master: u64, instance: u64, trial: u64) -> u64 {
+    let mut sm = SplitMix64::new(master ^ instance.wrapping_mul(0xA24B_AED4_963E_E407));
+    sm.next_u64() ^ trial.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut sm = SplitMix64::new(99);
+        for _ in 0..1000 {
+            assert!(sm.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn derive_seed_separates_instances_and_trials() {
+        let mut seen = std::collections::HashSet::new();
+        for instance in 0..20 {
+            for trial in 0..20 {
+                assert!(seen.insert(derive_seed(42, instance, trial)));
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_distribution_rough_uniformity() {
+        // Coarse sanity check: bucket 10k outputs into 16 buckets; every
+        // bucket should be populated within a loose tolerance.
+        let mut sm = SplitMix64::new(123);
+        let mut buckets = [0u32; 16];
+        for _ in 0..10_000 {
+            buckets[(sm.next_u64() >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 400 && b < 900, "bucket count {b} out of range");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Execution traces: an opt-in event log of everything observable at the
+//! simulator level — message deliveries and variable changes per cycle.
+//!
+//! Traces exist for debugging agent protocols and for teaching: rendering
+//! one shows the negotiation unfold cycle by cycle. They are off by
+//! default because a trace grows with total traffic.
+
+use std::fmt;
+
+use discsp_core::{AgentId, Value, VariableId};
+use serde::{Deserialize, Serialize};
+
+use crate::message::MessageClass;
+
+/// One observable event during a synchronous run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was delivered at the start of a cycle.
+    Delivered {
+        /// Delivery cycle.
+        cycle: u64,
+        /// Sending agent.
+        from: AgentId,
+        /// Receiving agent.
+        to: AgentId,
+        /// Message class.
+        class: MessageClass,
+    },
+    /// A variable's announced value changed during a cycle.
+    ValueChanged {
+        /// The cycle in which the change became visible.
+        cycle: u64,
+        /// The variable.
+        var: VariableId,
+        /// The previous value (`None` on the first observation).
+        old: Option<Value>,
+        /// The new value.
+        new: Value,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle this event belongs to.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Delivered { cycle, .. } => *cycle,
+            TraceEvent::ValueChanged { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Delivered {
+                cycle,
+                from,
+                to,
+                class,
+            } => write!(f, "[{cycle:>4}] {from} → {to}  ({class})"),
+            TraceEvent::ValueChanged {
+                cycle,
+                var,
+                old,
+                new,
+            } => match old {
+                Some(old) => write!(f, "[{cycle:>4}] {var}: {old} ⇒ {new}"),
+                None => write!(f, "[{cycle:>4}] {var}: ⇒ {new}"),
+            },
+        }
+    }
+}
+
+/// Renders a trace grouped by cycle, with a compact one-line-per-event
+/// body.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut last_cycle = None;
+    for event in events {
+        if last_cycle != Some(event.cycle()) {
+            if last_cycle.is_some() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "— cycle {} —", event.cycle());
+            last_cycle = Some(event.cycle());
+        }
+        let _ = writeln!(out, "{event}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_know_their_cycle() {
+        let delivered = TraceEvent::Delivered {
+            cycle: 3,
+            from: AgentId::new(0),
+            to: AgentId::new(1),
+            class: MessageClass::Ok,
+        };
+        assert_eq!(delivered.cycle(), 3);
+        let changed = TraceEvent::ValueChanged {
+            cycle: 4,
+            var: VariableId::new(2),
+            old: Some(Value::new(0)),
+            new: Value::new(1),
+        };
+        assert_eq!(changed.cycle(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let delivered = TraceEvent::Delivered {
+            cycle: 12,
+            from: AgentId::new(0),
+            to: AgentId::new(1),
+            class: MessageClass::Nogood,
+        };
+        assert_eq!(delivered.to_string(), "[  12] a0 → a1  (nogood)");
+        let first = TraceEvent::ValueChanged {
+            cycle: 1,
+            var: VariableId::new(5),
+            old: None,
+            new: Value::new(2),
+        };
+        assert_eq!(first.to_string(), "[   1] x5: ⇒ 2");
+    }
+
+    #[test]
+    fn rendering_groups_by_cycle() {
+        let events = vec![
+            TraceEvent::ValueChanged {
+                cycle: 1,
+                var: VariableId::new(0),
+                old: None,
+                new: Value::new(0),
+            },
+            TraceEvent::Delivered {
+                cycle: 2,
+                from: AgentId::new(0),
+                to: AgentId::new(1),
+                class: MessageClass::Ok,
+            },
+            TraceEvent::ValueChanged {
+                cycle: 2,
+                var: VariableId::new(1),
+                old: Some(Value::new(0)),
+                new: Value::new(1),
+            },
+        ];
+        let text = render_trace(&events);
+        assert!(text.contains("— cycle 1 —"));
+        assert!(text.contains("— cycle 2 —"));
+        assert_eq!(text.matches("— cycle").count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(render_trace(&[]).is_empty());
+    }
+}

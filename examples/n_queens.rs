@@ -1,0 +1,78 @@
+//! Distributed n-queens — the classic DisCSP demonstration from the
+//! AWC's original papers: one agent per row, each choosing its queen's
+//! column; attacks are pairwise nogoods.
+//!
+//! Shows AWC priorities at work: the deadend-prone middle rows raise
+//! their priorities and the rest of the board reorganizes around them.
+//!
+//! ```text
+//! cargo run --release --example n_queens [n]
+//! ```
+
+use discsp::prelude::*;
+
+fn build_queens(n: u16) -> Result<DistributedCsp, discsp::core::CoreError> {
+    let mut b = DistributedCsp::builder();
+    let rows: Vec<_> = (0..n).map(|_| b.variable(Domain::new(n))).collect();
+    for r1 in 0..n as usize {
+        for r2 in (r1 + 1)..n as usize {
+            let gap = (r2 - r1) as i32;
+            for c1 in 0..n as i32 {
+                // Same column.
+                b.nogood(Nogood::of([
+                    (rows[r1], Value::new(c1 as u16)),
+                    (rows[r2], Value::new(c1 as u16)),
+                ]))?;
+                // Diagonals.
+                for c2 in [c1 - gap, c1 + gap] {
+                    if (0..n as i32).contains(&c2) {
+                        b.nogood(Nogood::of([
+                            (rows[r1], Value::new(c1 as u16)),
+                            (rows[r2], Value::new(c2 as u16)),
+                        ]))?;
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u16 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(8);
+    let problem = build_queens(n)?;
+    println!("distributed {n}-queens: {problem}");
+
+    // Everyone starts in column 0 (maximally conflicted).
+    let init = Assignment::total(vec![Value::new(0); n as usize]);
+    let run = AwcSolver::new(AwcConfig::resolvent()).solve_sync(&problem, &init)?;
+    println!(
+        "{} in {} cycles ({} nogoods learned, maxcck {})",
+        run.outcome.metrics.termination,
+        run.outcome.metrics.cycles,
+        run.outcome.metrics.nogoods_generated,
+        run.outcome.metrics.maxcck,
+    );
+
+    let board = run
+        .outcome
+        .solution
+        .expect("n-queens is solvable for n ≥ 4");
+    assert!(problem.is_solution(&board));
+    for row in 0..n {
+        let col = board
+            .get(VariableId::new(row as u32))
+            .expect("total")
+            .index();
+        let mut line = String::new();
+        for c in 0..n as usize {
+            line.push_str(if c == col { " ♛" } else { " ·" });
+        }
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Distributed sensor-to-target assignment — a distributed resource
+//! allocation task in the spirit of the DisCSP sensor-network
+//! challenge problems.
+//!
+//! A field of sensors must each commit to tracking one target (or idle).
+//! Constraints: a sensor can only track targets in range; each target
+//! needs at least one dedicated *pair* of its in-range sensors to agree
+//! (encoded pairwise); sensors sharing a radio channel must not track
+//! the same target (interference). Each sensor is an agent; no sensor
+//! learns the full field layout — only nogoods involving itself.
+//!
+//! Also demonstrates the multi-variable execution model: sensors mounted
+//! on the same platform are hosted by one physical agent and coordinate
+//! for free.
+//!
+//! ```text
+//! cargo run --release --example sensor_network
+//! ```
+
+use discsp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 3 targets (values 1..=3); value 0 = idle.
+    const IDLE: u16 = 0;
+    let target_names = ValueLabels::new(["idle", "T1", "T2", "T3"]);
+
+    // 9 sensors on a 3×3 grid, 3 platforms of 3 sensors (one per row).
+    // Range map: sensor (r, c) sees target t iff |c - t0[t]| ≤ 1 where
+    // targets sit over columns 0, 1, 2.
+    let mut b = DistributedCsp::builder();
+    let mut sensors = Vec::new();
+    for platform in 0..3u32 {
+        for _ in 0..3 {
+            sensors.push(b.variable_owned_by(Domain::new(4), AgentId::new(platform)));
+        }
+    }
+    let in_range = |sensor: usize, target: u16| -> bool {
+        let col = (sensor % 3) as i32;
+        let target_col = (target - 1) as i32;
+        (col - target_col).abs() <= 1
+    };
+
+    // A sensor never tracks an out-of-range target.
+    for (s, &var) in sensors.iter().enumerate() {
+        for t in 1..=3u16 {
+            if !in_range(s, t) {
+                b.nogood(Nogood::of([(var, Value::new(t))]))?;
+            }
+        }
+    }
+    // Interference: sensors in the same grid column share a channel and
+    // must not track the same target.
+    for col in 0..3 {
+        for r1 in 0..3 {
+            for r2 in (r1 + 1)..3 {
+                let a = sensors[r1 * 3 + col];
+                let c = sensors[r2 * 3 + col];
+                for t in 1..=3u16 {
+                    b.nogood(Nogood::of([(a, Value::new(t)), (c, Value::new(t))]))?;
+                }
+            }
+        }
+    }
+    // Coverage: the sensors directly over target t on platforms 0 and 1
+    // cannot both ignore it — at least one must commit. ("At least k"
+    // constraints decompose into nogoods over the violating patterns.)
+    for t in 1..=3u16 {
+        let col = (t - 1) as usize;
+        let p0 = sensors[col]; // platform 0, over the target
+        let p1 = sensors[3 + col]; // platform 1, over the target
+        for v0 in 0..4u16 {
+            for v1 in 0..4u16 {
+                if v0 != t && v1 != t {
+                    b.nogood(Nogood::of([(p0, Value::new(v0)), (p1, Value::new(v1))]))?;
+                }
+            }
+        }
+    }
+    let problem = b.build()?;
+    println!(
+        "sensor field: {problem} over {} platforms",
+        problem.num_agents()
+    );
+
+    // All sensors start idle; platforms negotiate the assignment. The
+    // multi-variable solver hosts each platform's three sensors together.
+    let init = Assignment::total(vec![Value::new(IDLE); sensors.len()]);
+    let run = MultiAwcSolver::new(AwcConfig::resolvent()).solve_sync(&problem, &init)?;
+    println!(
+        "{} in {} cycles, {} remote messages (intra-platform traffic is free)",
+        run.outcome.metrics.termination,
+        run.outcome.metrics.cycles,
+        run.outcome.metrics.total_messages(),
+    );
+
+    let plan = run.outcome.solution.expect("the field is coverable");
+    assert!(problem.is_solution(&plan));
+    for platform in 0..3 {
+        let desc: Vec<String> = (0..3)
+            .map(|i| {
+                let var = sensors[platform * 3 + i];
+                let v = plan.get(var).expect("total");
+                format!("s{}{}→{}", platform, i, target_names.label(v))
+            })
+            .collect();
+        println!("  platform {}: {}", platform, desc.join("  "));
+    }
+    Ok(())
+}

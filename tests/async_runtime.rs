@@ -1,0 +1,90 @@
+//! Integration: the asynchronous runtime solves the same problems as the
+//! synchronous simulator, under varied interleavings.
+
+use std::time::Duration;
+
+use discsp::prelude::*;
+
+fn small_coloring() -> DistributedCsp {
+    coloring_to_discsp(&paper_coloring(20, 13)).expect("encode")
+}
+
+#[test]
+fn awc_async_solves_coloring_under_jitter() {
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let solver = AwcSolver::new(AwcConfig::resolvent());
+    for seed in 0..3u64 {
+        let config = AsyncConfig {
+            max_wall_time: Duration::from_secs(120),
+            jitter_micros: 300,
+            seed,
+            ..AsyncConfig::default()
+        };
+        let report = solver.solve_async(&problem, &init, &config).expect("fits");
+        assert_eq!(
+            report.outcome.metrics.termination,
+            Termination::Solved,
+            "seed {seed}"
+        );
+        let solution = report.outcome.solution.expect("solved");
+        assert!(problem.is_solution(&solution));
+        assert!(report.activations >= 20, "every agent must have started");
+    }
+}
+
+#[test]
+fn awc_async_solves_unique_sat() {
+    let instance = paper_one_sat3(12, 4);
+    let problem = cnf_to_discsp(&instance.cnf).expect("encode");
+    let init = Assignment::total(vec![Value::FALSE; 12]);
+    // Generous wall limit (one shared core under `cargo test`), and the
+    // *unrestricted* resolvent configuration: size-bounded recording is
+    // incomplete, so under adversarial asynchronous interleavings it can
+    // legitimately fail to terminate — not a property to assert against.
+    let config = AsyncConfig {
+        max_wall_time: Duration::from_secs(120),
+        ..AsyncConfig::default()
+    };
+    let report = AwcSolver::new(AwcConfig::resolvent())
+        .solve_async(&problem, &init, &config)
+        .expect("fits");
+    assert_eq!(report.outcome.metrics.termination, Termination::Solved);
+    assert_eq!(
+        report.outcome.solution,
+        Some(model_to_assignment(&instance.planted))
+    );
+}
+
+#[test]
+fn db_async_solves_coloring() {
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let config = AsyncConfig {
+        max_wall_time: Duration::from_secs(120),
+        ..AsyncConfig::default()
+    };
+    let report = DbaSolver::new()
+        .solve_async(&problem, &init, &config)
+        .expect("fits");
+    assert_eq!(report.outcome.metrics.termination, Termination::Solved);
+    assert!(problem.is_solution(&report.outcome.solution.expect("solved")));
+}
+
+#[test]
+fn async_message_counts_are_plausible() {
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let config = AsyncConfig {
+        max_wall_time: Duration::from_secs(120),
+        ..AsyncConfig::default()
+    };
+    let report = AwcSolver::new(AwcConfig::resolvent())
+        .solve_async(&problem, &init, &config)
+        .expect("fits");
+    let m = &report.outcome.metrics;
+    // Every agent announces to each neighbor at start; the coloring
+    // instance has 54 arcs → at least 108 initial ok? messages.
+    assert!(m.ok_messages >= 108, "ok messages {}", m.ok_messages);
+    assert!(m.total_checks > 0);
+}

@@ -1,0 +1,125 @@
+//! Integration: completeness properties — insoluble instances must be
+//! *proven* insoluble by complete configurations, and learning
+//! restrictions must trade that proof away exactly as the paper states.
+
+use discsp::prelude::*;
+
+/// K4 with 3 colors: the smallest insoluble coloring benchmark.
+fn k4() -> DistributedCsp {
+    let mut b = DistributedCsp::builder();
+    let vars: Vec<_> = (0..4).map(|_| b.variable(Domain::new(3))).collect();
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.not_equal(vars[i], vars[j]).expect("valid");
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Pigeonhole-flavored unsatisfiable SAT: x must be both true and false
+/// via forced chains.
+fn unsat_cnf() -> DistributedCsp {
+    let mut b = DistributedCsp::builder();
+    let x = b.variable(Domain::BOOL);
+    let y = b.variable(Domain::BOOL);
+    let z = b.variable(Domain::BOOL);
+    // (x ∨ y) ∧ (x ∨ ¬y) ∧ (¬x ∨ z) ∧ (¬x ∨ ¬z)
+    b.clause(&[(x, true), (y, true)]).expect("valid");
+    b.clause(&[(x, true), (y, false)]).expect("valid");
+    b.clause(&[(x, false), (z, true)]).expect("valid");
+    b.clause(&[(x, false), (z, false)]).expect("valid");
+    b.build().expect("valid")
+}
+
+#[test]
+fn awc_resolvent_proves_k4_insoluble() {
+    let problem = k4();
+    for initial in [
+        Assignment::total([Value::new(0); 4]),
+        Assignment::total([Value::new(0), Value::new(1), Value::new(2), Value::new(0)]),
+    ] {
+        let run = AwcSolver::new(AwcConfig::resolvent())
+            .cycle_limit(5_000)
+            .solve_sync(&problem, &initial)
+            .expect("fits");
+        assert_eq!(run.outcome.metrics.termination, Termination::Insoluble);
+        assert!(run.outcome.solution.is_none());
+    }
+}
+
+#[test]
+fn awc_mcs_proves_k4_insoluble() {
+    let run = AwcSolver::new(AwcConfig::mcs())
+        .cycle_limit(5_000)
+        .solve_sync(&k4(), &Assignment::total([Value::new(0); 4]))
+        .expect("fits");
+    assert_eq!(run.outcome.metrics.termination, Termination::Insoluble);
+}
+
+#[test]
+fn awc_resolvent_proves_unsat_cnf_insoluble() {
+    let problem = unsat_cnf();
+    let run = AwcSolver::new(AwcConfig::resolvent())
+        .cycle_limit(5_000)
+        .solve_sync(&problem, &Assignment::total([Value::FALSE; 3]))
+        .expect("fits");
+    assert_eq!(run.outcome.metrics.termination, Termination::Insoluble);
+}
+
+#[test]
+fn abt_proves_both_insoluble() {
+    for problem in [k4(), unsat_cnf()] {
+        let n = problem.num_vars();
+        let run = AbtSolver::new()
+            .cycle_limit(5_000)
+            .solve_sync(&problem, &Assignment::total(vec![Value::new(0); n]))
+            .expect("fits");
+        assert_eq!(run.outcome.metrics.termination, Termination::Insoluble);
+    }
+}
+
+#[test]
+fn no_learning_cannot_prove_insolubility() {
+    // §1 footnote: without nogoods the AWC never gets stuck — and §4.1:
+    // no-learning makes the AWC incomplete. It must hit the cutoff.
+    let run = AwcSolver::new(AwcConfig::no_learning())
+        .cycle_limit(400)
+        .solve_sync(&k4(), &Assignment::total([Value::new(0); 4]))
+        .expect("fits");
+    assert_eq!(run.outcome.metrics.termination, Termination::CutOff);
+}
+
+#[test]
+fn db_cannot_prove_insolubility() {
+    let run = DbaSolver::new()
+        .cycle_limit(400)
+        .solve_sync(&k4(), &Assignment::total([Value::new(0); 4]))
+        .expect("fits");
+    assert_eq!(run.outcome.metrics.termination, Termination::CutOff);
+}
+
+#[test]
+fn centralized_solver_confirms_insolubility() {
+    use discsp::cspsolve::SolveResult;
+    assert_eq!(Backtracker::new(&k4()).solve(), SolveResult::Unsatisfiable);
+    assert_eq!(
+        Backtracker::new(&unsat_cnf()).solve(),
+        SolveResult::Unsatisfiable
+    );
+}
+
+#[test]
+fn size_bounded_learning_may_lose_the_proof() {
+    // 1stRslv records only unary nogoods — far too weak to derive the
+    // empty nogood on K4 within the budget (footnote 6: size-bounded
+    // learning makes the AWC incomplete). The run must not *claim*
+    // insolubility wrongly nor crash; cutoff is the expected outcome.
+    let run = AwcSolver::new(AwcConfig::kth_resolvent(1))
+        .cycle_limit(300)
+        .solve_sync(&k4(), &Assignment::total([Value::new(0); 4]))
+        .expect("fits");
+    assert!(matches!(
+        run.outcome.metrics.termination,
+        Termination::CutOff | Termination::Insoluble
+    ));
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the core data structures, the generators,
+//! and the solvers.
+
+use discsp::core::{Nogood, Rank, VarValue};
+use discsp::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary (variable, value) pairs over a small universe, one value
+/// per variable (nogood-compatible).
+fn arb_elements() -> impl Strategy<Value = Vec<VarValue>> {
+    proptest::collection::btree_map(0u32..12, 0u16..4, 0..8).prop_map(|m| {
+        m.into_iter()
+            .map(|(var, value)| VarValue::new(VariableId::new(var), Value::new(value)))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn nogood_construction_is_order_independent(elems in arb_elements()) {
+        let forward = Nogood::new(elems.clone());
+        let mut reversed = elems.clone();
+        reversed.reverse();
+        let backward = Nogood::new(reversed);
+        prop_assert_eq!(&forward, &backward);
+        // Canonical order is sorted by variable.
+        let vars: Vec<_> = forward.vars().collect();
+        let mut sorted = vars.clone();
+        sorted.sort();
+        prop_assert_eq!(vars, sorted);
+    }
+
+    #[test]
+    fn nogood_violation_matches_brute_force(elems in arb_elements(), assigned in proptest::collection::vec((0u32..12, 0u16..4), 0..12)) {
+        let ng = Nogood::new(elems);
+        let mut assignment = Assignment::empty(12);
+        for (var, value) in assigned {
+            assignment.set(VariableId::new(var), Value::new(value));
+        }
+        let expected = ng
+            .elems()
+            .iter()
+            .all(|e| assignment.get(e.var) == Some(e.value));
+        prop_assert_eq!(ng.is_violated_by(assignment.lookup()), expected);
+    }
+
+    #[test]
+    fn without_var_never_contains_the_var(elems in arb_elements(), var in 0u32..12) {
+        let ng = Nogood::new(elems);
+        let stripped = ng.without_var(VariableId::new(var));
+        prop_assert!(!stripped.contains_var(VariableId::new(var)));
+        prop_assert!(stripped.is_subset_of(&ng));
+    }
+
+    #[test]
+    fn rank_order_is_total_and_antisymmetric(
+        a in (0u32..20, 0u64..5),
+        b in (0u32..20, 0u64..5),
+    ) {
+        let ra = Rank::new(VariableId::new(a.0), Priority::new(a.1));
+        let rb = Rank::new(VariableId::new(b.0), Priority::new(b.1));
+        if ra == rb {
+            prop_assert!(!ra.outranks(rb) && !rb.outranks(ra));
+        } else {
+            prop_assert!(ra.outranks(rb) ^ rb.outranks(ra));
+        }
+    }
+
+    #[test]
+    fn coloring_generator_invariants(n in 6u32..30, seed in 0u64..500) {
+        let m = (2.0 * n as f64) as usize;
+        let inst = generate_coloring(n, m, 3, seed);
+        prop_assert_eq!(inst.graph.num_edges(), m);
+        for (u, w) in inst.graph.edges() {
+            prop_assert_ne!(inst.planted[u as usize], inst.planted[w as usize]);
+        }
+        // The encoded problem accepts the planted coloring.
+        let problem = coloring_to_discsp(&inst).expect("encode");
+        prop_assert!(problem.is_solution(&inst.planted_assignment()));
+    }
+
+    #[test]
+    fn sat_generator_invariants(n in 5u32..30, seed in 0u64..500) {
+        let m = (3.0 * n as f64) as usize;
+        let inst = generate_sat3(n, m, seed);
+        prop_assert_eq!(inst.cnf.num_clauses(), m);
+        prop_assert!(inst.cnf.eval(&inst.planted));
+        for clause in inst.cnf.clauses() {
+            prop_assert_eq!(clause.len(), 3);
+        }
+    }
+
+    #[test]
+    fn one_sat_generator_is_truly_unique(n in 5u32..11, seed in 0u64..40) {
+        let m = n as usize + 6;
+        let inst = generate_one_sat3(n, m, seed);
+        prop_assert!(inst.cnf.eval(&inst.planted));
+        let problem = cnf_to_discsp(&inst.cnf).expect("encode");
+        let models = Backtracker::new(&problem).enumerate(2);
+        prop_assert_eq!(models.len(), 1);
+        prop_assert_eq!(&models[0], &model_to_assignment(&inst.planted));
+    }
+
+    #[test]
+    fn dimacs_roundtrip(n in 4u32..20, seed in 0u64..200) {
+        let inst = generate_sat3(n, 2 * n as usize, seed);
+        let mut buffer = Vec::new();
+        write_dimacs(&inst.cnf, &mut buffer).expect("write");
+        let parsed = read_dimacs(buffer.as_slice()).expect("parse");
+        prop_assert_eq!(parsed.clauses(), inst.cnf.clauses());
+        prop_assert_eq!(parsed.num_vars(), inst.cnf.num_vars());
+    }
+}
+
+proptest! {
+    // Solver properties are costlier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn awc_solves_random_solvable_colorings(n in 9u32..18, seed in 0u64..100) {
+        let m = (2.0 * n as f64) as usize;
+        let inst = generate_coloring(n, m, 3, seed);
+        let problem = coloring_to_discsp(&inst).expect("encode");
+        let init = Assignment::total(vec![Value::new(0); n as usize]);
+        let run = AwcSolver::new(AwcConfig::resolvent())
+            .cycle_limit(5_000)
+            .solve_sync(&problem, &init)
+            .expect("fits");
+        prop_assert_eq!(run.outcome.metrics.termination, Termination::Solved);
+        prop_assert!(problem.is_solution(&run.outcome.solution.expect("solved")));
+    }
+
+    #[test]
+    fn awc_and_backtracker_agree_on_satisfiability(n in 4u32..10, m in 8usize..26, seed in 0u64..60) {
+        // Fully random (possibly unsatisfiable) 3SAT: if the complete
+        // backtracker proves UNSAT, AWC+Rslv must not "solve" it; if
+        // SAT, AWC must find some valid solution.
+        use discsp::cspsolve::SolveResult;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = DistributedCsp::builder();
+        let vars: Vec<_> = (0..n).map(|_| b.variable(Domain::BOOL)).collect();
+        for _ in 0..m {
+            let mut picked: Vec<u32> = (0..n).collect();
+            // Cheap partial shuffle for three distinct variables.
+            for i in 0..3 {
+                let j = rng.gen_range(i..picked.len());
+                picked.swap(i, j);
+            }
+            let literals: Vec<(VariableId, bool)> = picked[..3]
+                .iter()
+                .map(|&v| (vars[v as usize], rng.gen::<bool>()))
+                .collect();
+            b.clause(&literals).expect("distinct vars");
+        }
+        let problem = b.build().expect("nonempty");
+        let central = Backtracker::new(&problem).solve();
+        let init = Assignment::total(vec![Value::FALSE; n as usize]);
+        let run = AwcSolver::new(AwcConfig::resolvent())
+            .cycle_limit(5_000)
+            .solve_sync(&problem, &init)
+            .expect("fits");
+        match central {
+            SolveResult::Solution(_) => {
+                // Satisfiable: the AWC must find a genuine solution and
+                // must never fabricate an insolubility proof (learned
+                // nogoods are implied, so the empty nogood is underivable).
+                prop_assert_eq!(run.outcome.metrics.termination, Termination::Solved);
+                prop_assert!(problem.is_solution(&run.outcome.solution.expect("solved")));
+            }
+            SolveResult::Unsatisfiable => {
+                // Unsatisfiable: the AWC must never claim a solution.
+                // It *usually* derives the empty nogood, but termination
+                // within a fixed cycle budget is not guaranteed — the
+                // "same as previously generated" guard only suppresses
+                // consecutive repeats, so agents can alternate between
+                // already-known nogoods (e.g. n = 4, m = 22, seed = 30
+                // livelocks). Cutoff is therefore an acceptable outcome.
+                prop_assert!(matches!(
+                    run.outcome.metrics.termination,
+                    Termination::Insoluble | Termination::CutOff
+                ));
+                prop_assert!(run.outcome.solution.is_none());
+            }
+            SolveResult::LimitReached => unreachable!("tiny instances never hit the limit"),
+        }
+    }
+}

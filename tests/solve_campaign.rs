@@ -1,0 +1,167 @@
+//! Integration: every algorithm solves every benchmark family, and the
+//! returned solutions are genuine.
+
+use discsp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families(n: u32) -> Vec<(&'static str, DistributedCsp)> {
+    vec![
+        (
+            "d3c",
+            coloring_to_discsp(&paper_coloring(n, 1)).expect("encode"),
+        ),
+        ("d3s", cnf_to_discsp(&paper_sat3(n, 1).cnf).expect("encode")),
+        (
+            "d3s1",
+            cnf_to_discsp(&paper_one_sat3(n, 1).cnf).expect("encode"),
+        ),
+    ]
+}
+
+#[test]
+fn awc_all_learning_modes_solve_all_families() {
+    for (family, problem) in families(24) {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..2 {
+            let init = random_assignment(&problem, &mut rng);
+            // Size bounds follow the paper's per-family choices: 3 is
+            // only strong enough for coloring (binary constraints);
+            // SAT's ternary clauses need 4+ or the AWC can thrash.
+            let bound = if family == "d3c" { 3 } else { 4 };
+            for config in [
+                AwcConfig::resolvent(),
+                AwcConfig::mcs(),
+                AwcConfig::kth_resolvent(bound),
+                AwcConfig::kth_resolvent(5),
+            ] {
+                let run = AwcSolver::new(config)
+                    .solve_sync(&problem, &init)
+                    .expect("benchmark problems fit the AWC");
+                assert_eq!(
+                    run.outcome.metrics.termination,
+                    Termination::Solved,
+                    "{family} trial {trial} with {}",
+                    config.label()
+                );
+                let solution = run.outcome.solution.expect("solved");
+                assert!(
+                    problem.is_solution(&solution),
+                    "{family}: reported solution violates constraints"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn db_solves_coloring_and_plain_sat() {
+    // DB is incomplete and slow on the unique-solution family, so only
+    // the first two families are required to finish quickly here.
+    for (family, problem) in families(24).into_iter().take(2) {
+        let mut rng = StdRng::seed_from_u64(6);
+        let init = random_assignment(&problem, &mut rng);
+        let run = DbaSolver::new()
+            .solve_sync(&problem, &init)
+            .expect("one variable per agent");
+        assert!(
+            run.outcome.metrics.termination.is_solved(),
+            "{family} unsolved by DB"
+        );
+        assert!(problem.is_solution(&run.outcome.solution.expect("solved")));
+    }
+}
+
+#[test]
+fn abt_solves_all_families() {
+    for (family, problem) in families(18) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let init = random_assignment(&problem, &mut rng);
+        let run = AbtSolver::new()
+            .solve_sync(&problem, &init)
+            .expect("one variable per agent");
+        assert!(
+            run.outcome.metrics.termination.is_solved(),
+            "{family} unsolved by ABT"
+        );
+        assert!(problem.is_solution(&run.outcome.solution.expect("solved")));
+    }
+}
+
+#[test]
+fn distributed_solvers_agree_with_centralized_on_unique_instances() {
+    let instance = paper_one_sat3(26, 9);
+    let problem = cnf_to_discsp(&instance.cnf).expect("encode");
+    let planted = model_to_assignment(&instance.planted);
+
+    let central = Backtracker::new(&problem).solve();
+    assert_eq!(central.solution(), Some(&planted));
+
+    let init = Assignment::total(vec![Value::FALSE; 26]);
+    let awc = AwcSolver::new(AwcConfig::resolvent())
+        .solve_sync(&problem, &init)
+        .expect("fits");
+    assert_eq!(awc.outcome.solution.as_ref(), Some(&planted));
+
+    let db = DbaSolver::new().solve_sync(&problem, &init).expect("fits");
+    assert_eq!(db.outcome.solution.as_ref(), Some(&planted));
+}
+
+#[test]
+fn metrics_invariants_hold_across_algorithms() {
+    let problem = coloring_to_discsp(&paper_coloring(20, 3)).expect("encode");
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let runs = vec![
+        AwcSolver::new(AwcConfig::resolvent())
+            .solve_sync(&problem, &init)
+            .unwrap()
+            .outcome
+            .metrics,
+        AwcSolver::new(AwcConfig::no_learning())
+            .solve_sync(&problem, &init)
+            .unwrap()
+            .outcome
+            .metrics,
+        DbaSolver::new()
+            .solve_sync(&problem, &init)
+            .unwrap()
+            .outcome
+            .metrics,
+        AbtSolver::new()
+            .solve_sync(&problem, &init)
+            .unwrap()
+            .outcome
+            .metrics,
+    ];
+    for m in runs {
+        assert!(m.cycles >= 1);
+        // maxcck sums per-cycle maxima, which can never exceed the sum
+        // of per-cycle totals.
+        assert!(m.maxcck <= m.total_checks);
+        // With 20 agents, a per-cycle maximum is at least 1/20 of the
+        // per-cycle total.
+        assert!(m.maxcck * 20 >= m.total_checks);
+        assert!(m.termination.is_solved());
+        assert!(m.redundant_nogoods <= m.nogoods_generated);
+    }
+}
+
+#[test]
+fn min_conflicts_validates_family_hardness_contrast() {
+    // The plain planted family must be solvable by local search; the
+    // unique-solution family must defeat the same budget (the Richards &
+    // Richards phenomenon the paper leans on).
+    let easy = cnf_to_discsp(&paper_sat3(40, 5).cnf).expect("encode");
+    let outcome = MinConflicts::new(3).max_steps(60_000).run(&easy);
+    assert!(
+        outcome.solution.is_some(),
+        "plain 3SAT should fall to local search"
+    );
+
+    let hard = cnf_to_discsp(&paper_one_sat3(40, 5).cnf).expect("encode");
+    let outcome = MinConflicts::new(3).max_steps(60_000).run(&hard);
+    assert!(
+        outcome.solution.is_none(),
+        "unique-solution 3SAT should resist this local-search budget"
+    );
+}
