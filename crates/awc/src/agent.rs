@@ -3,7 +3,8 @@
 use std::collections::{BTreeSet, HashSet};
 
 use discsp_core::{
-    AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Rank, Value, VarValue, VariableId,
+    AgentId, AgentView, Domain, IncrementalEval, Nogood, NogoodIdx, NogoodStore, Priority, Rank,
+    Value, VarValue, VariableId,
 };
 use discsp_runtime::{AgentStats, DistributedAgent, Envelope, Outbox};
 use serde::{Deserialize, Serialize};
@@ -115,6 +116,10 @@ pub struct AwcAgent {
     priority: Priority,
     view: AgentView,
     store: NogoodStore,
+    /// Incremental violation cache over `store` × `view`. Refreshed at
+    /// the top of every review; never meters checks itself (the review
+    /// charges what the naive scan would cost).
+    eval: IncrementalEval,
     outlinks: BTreeSet<AgentId>,
     config: AwcConfig,
     last_generated: Option<Nogood>,
@@ -156,6 +161,7 @@ impl AwcAgent {
             priority: Priority::ZERO,
             view: AgentView::new(),
             store: NogoodStore::with_nogoods(nogoods),
+            eval: IncrementalEval::new(var),
             outlinks,
             config,
             last_generated: None,
@@ -254,6 +260,12 @@ impl AwcAgent {
         if self.insoluble {
             return;
         }
+        // Sync the incremental cache once per review; the store and view
+        // are stable for the rest of the evaluation (learning only
+        // *reads* the store, and generated nogoods are sent, not
+        // self-recorded). The generation fast path makes this free when
+        // nothing changed.
+        self.eval.refresh_view(&self.store, &self.view);
         let own_rank = Rank::new(self.var, self.priority);
 
         // Partition the store into higher and lower nogoods. This is
@@ -358,24 +370,26 @@ impl AwcAgent {
         self.send_ok_to_all(out);
     }
 
-    /// Metered scan: which of `indices` are violated with own variable at
-    /// `value`?
-    fn violated_among(&self, indices: &[usize], value: Value) -> Vec<usize> {
-        let lookup = self.view.lookup_with(self.var, value);
+    /// Metered query: which of `indices` are violated with own variable
+    /// at `value`?
+    ///
+    /// Answers from the [`IncrementalEval`] cache (no literal scans),
+    /// but charges exactly one check per index — the cost of the naive
+    /// scan this replaces. `cycle`/`maxcck` stay bit-identical to the
+    /// pre-index implementation (pinned by the golden metric tests).
+    fn violated_among(&self, indices: &[NogoodIdx], value: Value) -> Vec<NogoodIdx> {
+        self.store.charge_checks(indices.len() as u64);
         indices
             .iter()
             .copied()
-            .filter(|&i| {
-                let ng = self.store.get(i).expect("index in range");
-                self.store.eval(ng, &lookup)
-            })
+            .filter(|&i| self.eval.is_violated(i, value))
             .collect()
     }
 
     /// Picks the candidate value minimizing violations among `indices`
     /// (metered). Ties break toward the cyclically-next value after the
     /// current one, so symmetric neighbors don't oscillate in lockstep.
-    fn pick_min_conflict(&self, candidates: &[Value], indices: &[usize]) -> Value {
+    fn pick_min_conflict(&self, candidates: &[Value], indices: &[NogoodIdx]) -> Value {
         debug_assert!(!candidates.is_empty());
         let d = self.domain.size();
         let distance = |v: Value| -> usize {

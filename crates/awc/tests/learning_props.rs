@@ -12,12 +12,17 @@ const OWN: u32 = 0;
 /// A randomly generated, guaranteed deadend: the view covers variables
 /// 1..=k, the store holds one violated higher nogood per domain value
 /// plus assorted extra nogoods (violated or not).
+///
+/// An extra nogood is its foreign `(var, value)` elements plus an
+/// optional own-variable value.
+type ExtraNogood = (Vec<(u32, u16)>, Option<u16>);
+
 #[derive(Debug, Clone)]
 struct Scenario {
-    view_values: Vec<u16>,                      // value of variable i+1
-    domain: u16,                                // own domain size (2..=3)
-    per_value_foreign: Vec<Vec<u32>>,           // foreign vars of the forced nogood per value
-    extra: Vec<(Vec<(u32, u16)>, Option<u16>)>, // extra nogoods: foreign elems + optional own value
+    view_values: Vec<u16>,            // value of variable i+1
+    domain: u16,                      // own domain size (2..=3)
+    per_value_foreign: Vec<Vec<u32>>, // foreign vars of the forced nogood per value
+    extra: Vec<ExtraNogood>,          // extra nogoods
 }
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {

@@ -1,11 +1,17 @@
 //! Micro-benchmark: nogood evaluation cost — the `maxcck` unit.
 //!
-//! Measures single-nogood evaluation and full-store violation scans
-//! against store size; the ablation DESIGN.md calls out (check *counts*
-//! are representation-independent; wall-time is what this measures).
+//! Measures single-nogood evaluation, full-store violation scans, and
+//! the indexed-vs-naive violation *query* (one view variable changed per
+//! query — the agent hot path) against store size. Check *counts* are
+//! representation-independent; wall-time is what this measures.
+//!
+//! Running this bench writes a snapshot of every measurement, plus the
+//! indexed-over-naive speedups, to `BENCH_store.json` at the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use discsp_core::{Nogood, NogoodStore, Value, VariableId};
+use std::io::Write as _;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Measurement};
+use discsp_core::{IncrementalEval, Nogood, NogoodStore, Value, VariableId};
 use discsp_runtime::SplitMix64;
 
 fn random_store(nogoods: usize, vars: u32, seed: u64) -> NogoodStore {
@@ -61,5 +67,133 @@ fn bench_store_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_eval, bench_store_scan);
-criterion_main!(benches);
+/// The agent hot path: the view changes in exactly one variable, then
+/// the violated set under the own value is recomputed.
+///
+/// `naive` re-evaluates every stored nogood's literals (the pre-index
+/// implementation); `indexed` refreshes the [`IncrementalEval`] cache
+/// (re-evaluating only the ~deg(var) nogoods mentioning the changed
+/// variable) and reads the cached statuses; `indexed_count` answers the
+/// violation *count* from the O(1) counters.
+fn bench_incremental_query(c: &mut Criterion) {
+    const VARS: u32 = 64;
+    let own = VariableId::new(0);
+    let mut group = c.benchmark_group("violation_query_one_var_changed");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &size in &[100usize, 1_000, 10_000] {
+        let store = random_store(size, VARS, 42);
+        let changed = VariableId::new(1);
+
+        let mut values: Vec<Value> = (0..VARS).map(|v| Value::new((v % 3) as u16)).collect();
+        let mut flip = 0u16;
+        group.bench_with_input(BenchmarkId::new("naive", size), &store, |bench, store| {
+            bench.iter(|| {
+                flip ^= 1;
+                values[changed.index()] = Value::new(flip);
+                let values = &values;
+                store
+                    .violated(|var| {
+                        if var == own {
+                            Some(Value::new(0))
+                        } else {
+                            Some(values[var.index()])
+                        }
+                    })
+                    .len()
+            })
+        });
+        // The naive variant charges checks into the shared store meter;
+        // clear them so the next variant starts from a clean slate.
+        store.take_checks();
+
+        let mut view: Vec<(VariableId, Value)> = (1..VARS)
+            .map(|v| (VariableId::new(v), Value::new((v % 3) as u16)))
+            .collect();
+        let mut eval = IncrementalEval::new(own);
+        eval.refresh(&store, view.iter().copied());
+        let mut flip = 0u16;
+        group.bench_with_input(BenchmarkId::new("indexed", size), &store, |bench, store| {
+            bench.iter(|| {
+                flip ^= 1;
+                view[0].1 = Value::new(flip);
+                eval.refresh(store, view.iter().copied());
+                eval.violated_with(Value::new(0)).len()
+            })
+        });
+
+        let mut flip = 0u16;
+        group.bench_with_input(
+            BenchmarkId::new("indexed_count", size),
+            &store,
+            |bench, store| {
+                bench.iter(|| {
+                    flip ^= 1;
+                    view[0].1 = Value::new(flip);
+                    eval.refresh(store, view.iter().copied());
+                    eval.violation_count_with(Value::new(0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn mean_of<'m>(ms: &'m [Measurement], name: &str) -> Option<&'m Measurement> {
+    ms.iter().find(|m| m.name == name)
+}
+
+/// Serializes every measurement (ns/iter) and the indexed-over-naive
+/// speedups to `BENCH_store.json` at the repository root.
+fn write_snapshot(c: &Criterion) {
+    let ms = c.measurements();
+    let mut json = String::from("{\n  \"bench\": \"nogood_check\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        let sep = if i + 1 < ms.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{sep}\n",
+            json_escape(&m.name),
+            m.mean_ns,
+            m.min_ns,
+            m.samples
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_indexed_over_naive\": {\n");
+    let sizes = [100usize, 1_000, 10_000];
+    for (i, size) in sizes.iter().enumerate() {
+        let naive = mean_of(ms, &format!("violation_query_one_var_changed/naive/{size}"));
+        let indexed = mean_of(ms, &format!("violation_query_one_var_changed/indexed/{size}"));
+        let speedup = match (naive, indexed) {
+            (Some(n), Some(x)) if x.mean_ns > 0.0 => n.mean_ns / x.mean_ns,
+            _ => f64::NAN,
+        };
+        let sep = if i + 1 < sizes.len() { "," } else { "" };
+        json.push_str(&format!("    \"{size}\": {speedup:.2}{sep}\n"));
+        println!("speedup indexed vs naive at {size:>6} nogoods: {speedup:.2}x");
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_store.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_store.json");
+    println!("[wrote {path}]");
+}
+
+criterion_group!(
+    benches,
+    bench_single_eval,
+    bench_store_scan,
+    bench_incremental_query
+);
+
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    criterion.final_summary();
+    write_snapshot(&criterion);
+}

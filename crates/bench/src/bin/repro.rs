@@ -1,13 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment>... [--scale S] [--out DIR]
+//! repro <experiment>... [--scale S] [--out DIR] [--jobs N]
 //!
 //! experiments: table1 … table10, figure1, figure2, crossovers,
 //!              db-weights, abt, delay-sweep, partition-sweep, all
 //! --scale S    fraction of the paper's 100-trial protocol to run
 //!              (default 0.1; 1.0 = the full protocol)
 //! --out DIR    also write CSV files into DIR
+//! --jobs N     worker threads per sweep cell (default: all cores).
+//!              Results are bit-identical for every N.
 //! ```
 
 use std::io::Write as _;
@@ -25,22 +27,26 @@ use discsp_bench::report::{
 use discsp_bench::tables;
 use discsp_bench::Family;
 
-const USAGE: &str = "usage: repro <experiment>... [--scale S] [--out DIR]
+const USAGE: &str = "usage: repro <experiment>... [--scale S] [--out DIR] [--jobs N]
 experiments: table1..table10, figure1, figure2, crossovers, db-weights, abt,
              delay-sweep, partition-sweep, all
   --scale S   fraction of the paper's 100-trial protocol (default 0.1)
-  --out DIR   also write CSV files into DIR";
+  --out DIR   also write CSV files into DIR
+  --jobs N    worker threads per sweep cell (default: all cores);
+              results are bit-identical for every N";
 
 struct Options {
     experiments: Vec<String>,
     scale: f64,
     out: Option<PathBuf>,
+    jobs: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut experiments = Vec::new();
     let mut scale = 0.1;
     let mut out = None;
+    let mut jobs = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +59,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if scale <= 0.0 {
                     return Err("--scale must be positive".into());
                 }
+            }
+            "--jobs" => {
+                i += 1;
+                let value = args.get(i).ok_or("--jobs needs a value")?;
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs value {value:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
             }
             "--out" => {
                 i += 1;
@@ -73,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         experiments,
         scale,
         out,
+        jobs,
     })
 }
 
@@ -201,10 +219,14 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(n) = options.jobs {
+        discsp_bench::trial::set_jobs(n);
+    }
     println!(
-        "reproducing {} experiment(s) at scale {} of the paper's protocol\n",
+        "reproducing {} experiment(s) at scale {} of the paper's protocol ({} worker(s))\n",
         experiments.len(),
-        options.scale
+        options.scale,
+        discsp_bench::trial::jobs()
     );
     for id in &experiments {
         if let Err(msg) = run_experiment(id, options.scale, &options.out) {

@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn sweep_runs_and_degrades_monotonically_in_spirit() {
-        let sweep = delay_sweep(Family::Coloring, 15, 0.02, &[0, 4]);
+        let sweep = delay_sweep(Family::Coloring, 15, 0.05, &[0, 6]);
         assert_eq!(sweep.points.len(), 2);
         // Both algorithms must still solve at this tiny size.
         for p in &sweep.points {

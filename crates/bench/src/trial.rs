@@ -1,5 +1,14 @@
 //! Trial execution: one algorithm, one instance, one set of initial
 //! values — and batched sweeps over the full protocol.
+//!
+//! Sweeps fan the independent trials of a cell across CPU cores
+//! ([`run_cell`]). Trial *generation* (instances and initial values) is
+//! always sequential and consumes the RNG streams in the exact order the
+//! serial runner did, so results are bit-identical for every worker
+//! count — see [`run_cell_with_jobs`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use discsp_awc::{AbtSolver, AwcConfig, AwcSolver};
 use discsp_core::{Aggregate, Assignment, DistributedCsp, RunMetrics};
@@ -11,6 +20,27 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{Family, Protocol};
+
+/// Process-wide worker-count override; 0 means "auto" (one worker per
+/// available core).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by [`run_cell`] (the repro binary's
+/// `--jobs N`). Zero restores auto-detection.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`run_cell`] will use: the [`set_jobs`] override, or
+/// the machine's available parallelism.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
 
 /// An algorithm under test, dispatchable uniformly by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,7 +109,24 @@ pub fn run_cell(
     algorithm: Algorithm,
     protocol: &Protocol,
 ) -> Vec<RunMetrics> {
-    let mut all = Vec::with_capacity(protocol.trials());
+    run_cell_with_jobs(family, n, algorithm, protocol, jobs())
+}
+
+/// [`run_cell`] with an explicit worker count.
+///
+/// All randomness is consumed during the sequential generation phase
+/// (instances in index order, then each instance's initial values from
+/// its own derived-seed stream), and trials are merged back by index —
+/// the result is bit-identical for every `workers` value, including 1.
+pub fn run_cell_with_jobs(
+    family: Family,
+    n: u32,
+    algorithm: Algorithm,
+    protocol: &Protocol,
+    workers: usize,
+) -> Vec<RunMetrics> {
+    let mut problems: Vec<DistributedCsp> = Vec::with_capacity(protocol.instances);
+    let mut trials: Vec<(usize, Assignment)> = Vec::with_capacity(protocol.trials());
     for instance_index in 0..protocol.instances {
         let problem = family.problem(n, instance_index, protocol.master_seed);
         let init_seed = derive_seed(
@@ -89,11 +136,44 @@ pub fn run_cell(
         );
         let mut rng = StdRng::seed_from_u64(init_seed);
         for _ in 0..protocol.inits {
-            let init = random_assignment(&problem, &mut rng);
-            all.push(algorithm.run(&problem, &init, protocol.cycle_limit));
+            trials.push((problems.len(), random_assignment(&problem, &mut rng)));
         }
+        problems.push(problem);
     }
-    all
+
+    let workers = workers.clamp(1, trials.len().max(1));
+    if workers == 1 {
+        return trials
+            .iter()
+            .map(|(p, init)| algorithm.run(&problems[*p], init, protocol.cycle_limit))
+            .collect();
+    }
+
+    // Dynamic work claiming: trial runtimes vary wildly (some hit the
+    // cycle limit), so static chunking would leave workers idle.
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunMetrics>>> =
+        trials.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((p, init)) = trials.get(i) else {
+                    break;
+                };
+                let metrics = algorithm.run(&problems[*p], init, protocol.cycle_limit);
+                *results[i].lock().expect("no panics hold this lock") = Some(metrics);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no panics hold this lock")
+                .expect("every trial index was claimed")
+        })
+        .collect()
 }
 
 /// [`run_cell`] reduced to the paper's aggregate row.
@@ -170,6 +250,30 @@ mod tests {
         let metrics = run_cell(Family::Coloring, 12, algo, &protocol);
         let agg = run_cell_aggregate(Family::Coloring, 12, algo, &protocol);
         assert_eq!(agg, Aggregate::from_metrics(metrics.iter()));
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let protocol = tiny();
+        let algo = Algorithm::Awc(AwcConfig::resolvent());
+        let serial = run_cell_with_jobs(Family::Coloring, 15, algo, &protocol, 1);
+        for workers in [2, 3, 4, 16] {
+            let parallel = run_cell_with_jobs(Family::Coloring, 15, algo, &protocol, workers);
+            assert_eq!(serial, parallel, "jobs={workers} diverged from serial");
+        }
+        // Oversized and zero worker counts are clamped, not an error.
+        let clamped = run_cell_with_jobs(Family::Coloring, 15, algo, &protocol, 0);
+        assert_eq!(serial, clamped);
+    }
+
+    #[test]
+    fn jobs_override_roundtrips() {
+        // Not a parallelism test — just the setter/getter contract the
+        // repro binary's --jobs flag relies on.
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub use metrics::{Aggregate, RunMetrics, Termination, TrialOutcome, PAPER_CYCLE_
 pub use nogood::Nogood;
 pub use priority::{Priority, Rank};
 pub use problem::{DistributedCsp, DistributedCspBuilder};
-pub use store::NogoodStore;
+pub use store::{IncrementalEval, NogoodIdx, NogoodStore};
 pub use value::{Value, ValueLabels};
 pub use view::{AgentView, ViewEntry};

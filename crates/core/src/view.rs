@@ -33,6 +33,13 @@ pub struct ViewEntry {
 /// their own assignment separately and combine the two with
 /// [`AgentView::lookup_with`].
 ///
+/// The view carries a *generation counter* bumped on every observable
+/// change ([`AgentView::update`] that alters an entry, or a successful
+/// [`AgentView::remove`]). Incremental machinery such as
+/// [`IncrementalEval`](crate::IncrementalEval) uses it to skip
+/// re-synchronization when nothing changed. The counter is not part of
+/// a view's identity: equality compares entries only.
+///
 /// # Examples
 ///
 /// ```
@@ -41,11 +48,21 @@ pub struct ViewEntry {
 /// let mut view = AgentView::new();
 /// view.update(VariableId::new(1), AgentId::new(1), Value::new(0), Priority::ZERO);
 /// assert_eq!(view.value_of(VariableId::new(1)), Some(Value::new(0)));
+/// assert_eq!(view.generation(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AgentView {
     entries: BTreeMap<VariableId, ViewEntry>,
+    generation: u64,
 }
+
+impl PartialEq for AgentView {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for AgentView {}
 
 impl AgentView {
     /// Creates an empty view.
@@ -69,12 +86,27 @@ impl AgentView {
             value,
             priority,
         };
-        self.entries.insert(var, entry) != Some(entry)
+        let changed = self.entries.insert(var, entry) != Some(entry);
+        if changed {
+            self.generation += 1;
+        }
+        changed
     }
 
     /// Forgets everything about `var`.
     pub fn remove(&mut self, var: VariableId) -> Option<ViewEntry> {
-        self.entries.remove(&var)
+        let removed = self.entries.remove(&var);
+        if removed.is_some() {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Counter bumped on every observable change; equal generations on
+    /// the same view guarantee identical contents (the converse need not
+    /// hold).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The full entry for `var`, if known.
@@ -273,6 +305,26 @@ mod tests {
         assert!(view.remove(x(1)).is_some());
         assert!(view.is_empty());
         assert!(view.remove(x(1)).is_none());
+    }
+
+    #[test]
+    fn generation_tracks_observable_changes() {
+        let mut view = AgentView::new();
+        assert_eq!(view.generation(), 0);
+        view.update(x(1), a(1), v(0), p(0));
+        assert_eq!(view.generation(), 1);
+        // No-op refresh: generation untouched.
+        view.update(x(1), a(1), v(0), p(0));
+        assert_eq!(view.generation(), 1);
+        view.update(x(1), a(1), v(1), p(0));
+        assert_eq!(view.generation(), 2);
+        view.remove(x(1));
+        assert_eq!(view.generation(), 3);
+        // Removing an unknown variable is not a change.
+        view.remove(x(1));
+        assert_eq!(view.generation(), 3);
+        // Generation is excluded from equality.
+        assert_eq!(view, AgentView::new());
     }
 
     #[test]

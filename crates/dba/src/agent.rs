@@ -2,7 +2,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use discsp_core::{AgentId, Domain, Nogood, NogoodStore, Value, VarValue, VariableId};
+use discsp_core::{
+    AgentId, Domain, IncrementalEval, Nogood, NogoodIdx, NogoodStore, Value, VarValue, VariableId,
+};
 use discsp_runtime::{AgentStats, DistributedAgent, Envelope, Outbox};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +49,10 @@ pub struct DbaAgent {
     domain: Domain,
     value: Value,
     store: NogoodStore,
+    /// Incremental violation cache over `store` × `view`. Synced once per
+    /// wave (the view only changes at wave boundaries); never meters
+    /// checks itself — [`DbaAgent::eval_value`] charges the naive cost.
+    eval: IncrementalEval,
     /// Weight of nogood `i` is `weights[weight_group[i]]`.
     weights: Vec<u64>,
     weight_group: Vec<usize>,
@@ -108,6 +114,7 @@ impl DbaAgent {
             domain,
             value: initial_value,
             store,
+            eval: IncrementalEval::new(var),
             weights,
             weight_group,
             neighbor_vars: neighbors.iter().map(|&(v, _)| v).collect(),
@@ -139,21 +146,28 @@ impl DbaAgent {
         self.weight_group.get(index).map(|&g| self.weights[g])
     }
 
+    /// Re-syncs the incremental cache with the current view. Must run
+    /// after every view mutation and before any [`DbaAgent::eval_value`];
+    /// work is proportional to the view size plus the nogoods touching
+    /// actually-changed variables.
+    fn sync_eval(&mut self) {
+        self.eval
+            .refresh(&self.store, self.view.iter().map(|(&k, &v)| (k, v)));
+    }
+
     /// Metered weighted cost of taking `value` under the current view,
     /// together with the violated store indices.
-    fn eval_value(&self, value: Value) -> (u64, Vec<usize>) {
-        let lookup = |v: VariableId| -> Option<Value> {
-            if v == self.var {
-                Some(value)
-            } else {
-                self.view.get(&v).copied()
-            }
-        };
+    ///
+    /// Answers from the [`IncrementalEval`] cache but charges one check
+    /// per stored nogood — exactly the cost of the naive full scan this
+    /// replaces, keeping `maxcck` bit-identical (pinned by the golden
+    /// metric tests).
+    fn eval_value(&self, value: Value) -> (u64, Vec<NogoodIdx>) {
+        self.store.charge_checks(self.store.len() as u64);
         let mut cost = 0u64;
         let mut violated = Vec::new();
         for i in 0..self.store.len() {
-            let ng = self.store.get(i).expect("index in range");
-            if self.store.eval(ng, lookup) {
+            if self.eval.is_violated(i, value) {
                 cost += self.weights[self.weight_group[i]];
                 violated.push(i);
             }
@@ -179,6 +193,7 @@ impl DbaAgent {
         for (var, value) in std::mem::take(&mut self.ok_pending) {
             self.view.insert(var, value);
         }
+        self.sync_eval();
         let (eval, violated) = self.eval_value(self.value);
         self.my_eval = eval;
         self.violated_now = violated;
@@ -258,6 +273,7 @@ impl DistributedAgent for DbaAgent {
         if self.neighbor_agents.is_empty() {
             // Isolated variable: settle its (unary) nogoods immediately —
             // no waves will ever run.
+            self.sync_eval();
             let (_, _) = self.eval_value(self.value);
             let best = self
                 .domain
@@ -340,6 +356,7 @@ mod tests {
     fn eval_counts_weighted_violations() {
         let mut agent = two_agent_pair(WeightMode::PerNogood);
         agent.view.insert(x(1), v(0));
+        agent.sync_eval();
         let (cost, violated) = agent.eval_value(v(0));
         assert_eq!(cost, 1);
         assert_eq!(violated, vec![0]);

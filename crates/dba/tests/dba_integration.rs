@@ -2,7 +2,7 @@
 //! scenarios: wave alternation, weight escalation, and both weight
 //! modes.
 
-use discsp_core::{AgentId, Assignment, DistributedCsp, Domain, Nogood, Termination, Value};
+use discsp_core::{Assignment, DistributedCsp, Domain, Nogood, Termination, Value};
 use discsp_dba::{DbaSolver, WeightMode};
 
 fn v(i: u16) -> Value {

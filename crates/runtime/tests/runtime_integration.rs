@@ -2,7 +2,7 @@
 //! protocol: distributed maximum agreement over a line graph.
 
 use discsp_core::{
-    AgentId, Assignment, DistributedCsp, Domain, Nogood, Value, VarValue, VariableId,
+    AgentId, DistributedCsp, Domain, Nogood, Value, VarValue, VariableId,
 };
 use discsp_runtime::{
     run_async, AgentStats, AsyncConfig, Classify, DistributedAgent, Envelope, MessageClass, Outbox,

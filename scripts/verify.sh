@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, complete test suite, lints.
+#
+# Everything runs --offline — external dependencies are vendored as
+# stubs under vendor/ (see Cargo.toml), so no network is required.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

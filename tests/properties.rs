@@ -53,6 +53,60 @@ proptest! {
     }
 
     #[test]
+    fn incremental_eval_matches_naive_scan(
+        own in 0u32..12,
+        nogood_elems in proptest::collection::vec(arb_elements(), 1..10),
+        views in proptest::collection::vec(
+            proptest::collection::btree_map(0u32..12, 0u16..4, 0..8),
+            1..6,
+        ),
+    ) {
+        use discsp::core::{IncrementalEval, NogoodStore};
+        let own = VariableId::new(own);
+        let nogoods: Vec<Nogood> = nogood_elems.into_iter().map(Nogood::new).collect();
+        let mut store = NogoodStore::new();
+        let mut eval = IncrementalEval::new(own);
+        let steps = views.len();
+        for (step, view) in views.into_iter().enumerate() {
+            // Grow the store progressively so append-sync is exercised
+            // alongside view changes.
+            let grown = ((step + 1) * nogoods.len()).div_ceil(steps);
+            for ng in &nogoods[..grown] {
+                store.insert(ng.clone());
+            }
+            let foreign: Vec<(VariableId, Value)> = view
+                .iter()
+                .map(|(&var, &value)| (VariableId::new(var), Value::new(value)))
+                .filter(|&(var, _)| var != own)
+                .collect();
+            eval.refresh(&store, foreign.iter().copied());
+            for own_value in 0u16..4 {
+                let own_value = Value::new(own_value);
+                let lookup = |var: VariableId| {
+                    if var == own {
+                        Some(own_value)
+                    } else {
+                        foreign.iter().find(|&&(v, _)| v == var).map(|&(_, value)| value)
+                    }
+                };
+                let naive: Vec<usize> = (0..store.len())
+                    .filter(|&i| store.get(i).expect("in range").is_violated_by(lookup))
+                    .collect();
+                prop_assert_eq!(eval.violated_with(own_value), naive.clone());
+                prop_assert_eq!(eval.violation_count_with(own_value), naive.len());
+                for i in 0..store.len() {
+                    prop_assert!(
+                        eval.is_violated(i, own_value) == naive.contains(&i),
+                        "nogood {} disagrees under own={}", i, own_value
+                    );
+                }
+            }
+        }
+        // The cached path itself must never meter checks.
+        prop_assert_eq!(store.checks(), 0);
+    }
+
+    #[test]
     fn rank_order_is_total_and_antisymmetric(
         a in (0u32..20, 0u64..5),
         b in (0u32..20, 0u64..5),

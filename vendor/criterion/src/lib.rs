@@ -1,0 +1,286 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a minimal wall-clock harness with the criterion API shape the
+//! workspace benches use: `Criterion`, `benchmark_group` (with
+//! `sample_size`/`measurement_time`/`warm_up_time`), `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurements are real (monotonic-clock samples around batched
+//! iterations, reporting mean and min ns/iter) but there is no
+//! statistical analysis, outlier rejection, or HTML report. Numbers are
+//! printed to stdout; benches that persist snapshots (BENCH_store.json)
+//! do their own timing and serialization.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timer handed to bench closures; `iter` runs the batch the harness
+/// asked for and records its wall-clock duration.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// One finished measurement: mean and minimum ns per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let m = run_benchmark(name, self.config, f);
+        self.results.push(m);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: Config::default(),
+        }
+    }
+
+    /// All measurements taken so far (used by snapshot-writing benches).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.results.len());
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let m = run_benchmark(&full, self.config, f);
+        self.criterion.results.push(m);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, config: Config, mut f: F) -> Measurement {
+    // Warm-up: double the batch size until the warm-up budget is spent,
+    // which also yields a per-iteration estimate for sizing samples.
+    let mut iters = 1u64;
+    let mut spent = Duration::ZERO;
+    let mut per_iter_ns;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        spent += b.elapsed;
+        per_iter_ns = (b.elapsed.as_nanos() as f64 / iters as f64).max(0.01);
+        if spent >= config.warm_up_time || iters >= 1 << 40 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let per_sample_ns =
+        config.measurement_time.as_nanos() as f64 / config.sample_size as f64;
+    let sample_iters = ((per_sample_ns / per_iter_ns) as u64).max(1);
+
+    let mut samples_ns = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+
+    println!(
+        "{name:<56} time/iter: mean {} min {} ({} samples x {} iters)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        samples_ns.len(),
+        sample_iters
+    );
+    Measurement {
+        name: name.to_string(),
+        mean_ns,
+        min_ns,
+        samples: samples_ns.len(),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); ignore them.
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let m = &c.measurements()[0];
+        assert_eq!(m.name, "g/4");
+        assert!(m.mean_ns > 0.0 && m.min_ns > 0.0);
+        assert_eq!(m.samples, 3);
+    }
+}

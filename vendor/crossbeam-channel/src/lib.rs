@@ -1,0 +1,42 @@
+//! Offline stub of `crossbeam-channel`.
+//!
+//! The workspace uses only the MPSC subset of the crossbeam API —
+//! `unbounded()`, cloned `Sender`s, a per-thread `Receiver` with
+//! `recv_timeout`/`try_recv` — which `std::sync::mpsc` covers exactly,
+//! so this stub simply re-exports std's types under crossbeam's names.
+//! (std's `Receiver` is `!Sync`, unlike crossbeam's, but every receiver
+//! in this workspace is moved into a single thread.)
+
+pub use std::sync::mpsc::{
+    RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+};
+
+/// crossbeam's `Receiver` equivalent.
+pub use std::sync::mpsc::Receiver;
+
+/// Creates an unbounded channel, crossbeam-style.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u32).unwrap();
+        tx2.send(2u32).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop((tx, tx2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the API subset the workspace's property tests use:
+//! integer-range / tuple / collection / option strategies, `prop_map`
+//! and `prop_flat_map`, the `proptest!` macro, and the `prop_assert*`
+//! family. Cases are sampled from a deterministic per-test RNG (seeded
+//! from the test name), so every run explores the same inputs.
+//!
+//! Two deliberate simplifications versus real proptest:
+//! - **No shrinking.** A failing case reports its generated inputs
+//!   verbatim; rerunning reproduces it exactly (the RNG is
+//!   deterministic), so a debugger can start from the printed values.
+//! - **`prop_assume!` passes** instead of discarding and resampling, so
+//!   `cases` is an upper bound on executed bodies, not a quota.
+
+/// Deterministic SplitMix64 stream used to sample all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample from an empty range");
+        self.next_u64() % n
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// Sampling-only stand-in for proptest's `Strategy`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u16, u32, u64, usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Collection size specification: an exact count or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.max - self.min) as u64 + 1;
+            self.min + (rng.next_u64() % span) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the yield, so over-sample; an element
+            // universe smaller than `target` caps the set at the universe.
+            for _ in 0..(target * 20 + 20) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..(target * 20 + 20) {
+                if out.len() >= target {
+                    break;
+                }
+                let k = self.key.sample(rng);
+                let v = self.value.sample(rng);
+                out.entry(k).or_insert(v);
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` or `Some(sample)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Subset of proptest's `ProptestConfig`: only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the suite fast on
+            // the single-core CI box while still exploring widely.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case with a deterministic RNG
+        /// derived from the test name and case index. `case` returns
+        /// `Err((message, inputs))` on assertion failure.
+        pub fn run_named<F>(&mut self, name: &str, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), (String, String)>,
+        {
+            let base = fnv1a(name.as_bytes());
+            for index in 0..self.config.cases {
+                let mut rng = TestRng::new(base ^ (u64::from(index).wrapping_mul(0xD6E8_FEB8_6659_FD93)));
+                if let Err((message, inputs)) = case(&mut rng) {
+                    panic!(
+                        "proptest case {index} of `{name}` failed: {message}\n  inputs: {inputs}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Entry macro: expands each `#[test] fn name(arg in strategy, ...)` item
+/// into a plain `#[test]` that samples the strategies and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            @cfg(<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg($cfg:expr) $(
+        #[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_named(stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&::std::format!("{:?}; ", &$arg));
+                    )+
+                    s
+                };
+                let __result: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                __result.map_err(|message| (message, __inputs))
+            });
+        }
+    )*};
+}
+
+/// `prop_assert!`: like `assert!` but reported through the proptest
+/// harness (returns an `Err` from the case body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!`: real proptest discards and resamples; this stub
+/// simply passes the case, which is sound (never hides a failure) but
+/// means `cases` is an upper bound rather than a quota.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pair(u32, u16);
+
+    fn arb_pair() -> impl Strategy<Value = Pair> {
+        (0u32..10, 0u16..4).prop_map(|(a, b)| Pair(a, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, y in 2usize..=5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((2..=5).contains(&y));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u16..4, 2..6),
+            s in crate::collection::btree_set(0u32..100, 1..=3usize),
+            m in crate::collection::btree_map(0u32..100, 0u16..4, 0..4),
+            o in crate::option::of(0u16..2),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(m.len() < 4);
+            prop_assert!(o.is_none() || o.unwrap() < 2);
+        }
+
+        #[test]
+        fn flat_map_composes(p in (1u16..4).prop_flat_map(|n| crate::collection::vec(0u16..4, n as usize))) {
+            prop_assert!(!p.is_empty() && p.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_and_custom_strategies(p in arb_pair(), flag in crate::option::of(0u32..2)) {
+            prop_assert!(p.0 < 10 && p.1 < 4);
+            prop_assume!(flag.is_some());
+            prop_assert_eq!(p.clone(), p.clone());
+            prop_assert_ne!(p.0 + 1, p.0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serializes data (there is no format crate such as
+//! `serde_json`). The real dependency is therefore replaced by this
+//! marker-trait facade so the workspace types can keep deriving
+//! `Serialize`/`Deserialize` and downstream code can keep writing
+//! `T: serde::Serialize` bounds. Swapping back to real serde later is a
+//! one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`. Intentionally empty.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. Intentionally empty and
+/// non-generic (no lifetime parameter) — sufficient for derive bounds.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    //! Mirror of `serde::de` for the `DeserializeOwned` bound.
+
+    /// Marker stand-in for `serde::de::DeserializeOwned`; blanket-implemented
+    /// for every type that derives the stub `Deserialize`.
+    pub trait DeserializeOwned {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}

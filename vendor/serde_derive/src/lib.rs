@@ -1,0 +1,177 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! the real `serde`/`serde_derive` cannot be fetched. Nothing in the
+//! workspace actually serializes data (there is no `serde_json` or other
+//! format crate); the derives exist so the public types keep their
+//! familiar `Serialize`/`Deserialize` bounds. This stub therefore emits a
+//! trivial marker impl of the (empty) stub traits defined by the sibling
+//! `vendor/serde` crate.
+//!
+//! The parser below is deliberately minimal: it handles `struct`/`enum`
+//! items with an optional generic parameter list (bounds preserved,
+//! defaults stripped), which covers every derive site in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we need to know about the item: its name, the generic parameter
+/// list verbatim minus defaults (for `impl<...>`), and the bare parameter
+/// names (for `Name<...>`).
+struct Item {
+    name: String,
+    impl_generics: String,
+    type_args: String,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the following bracket group.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    other => panic!("expected item name after struct/enum, got {other:?}"),
+                }
+            }
+            Some(_) => {}
+            None => panic!("no struct/enum item found in derive input"),
+        }
+    };
+
+    // Optional generic parameter list.
+    let mut param_tokens: Vec<TokenTree> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let _ = tokens.next();
+            let mut depth = 1usize;
+            for tok in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                param_tokens.push(tok);
+            }
+        }
+    }
+
+    // Split the parameter tokens on top-level commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tok in param_tokens {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                params.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        params.last_mut().expect("nonempty").push(tok);
+    }
+    params.retain(|p| !p.is_empty());
+
+    let mut impl_parts = Vec::new();
+    let mut arg_parts = Vec::new();
+    for param in &params {
+        // Strip a trailing `= default`, which is not legal in impls.
+        let mut cut = param.len();
+        let mut d = 0usize;
+        for (i, tok) in param.iter().enumerate() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => d += 1,
+                    '>' => d -= 1,
+                    '=' if d == 0 => {
+                        cut = i;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let decl: String = param[..cut]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        impl_parts.push(decl);
+
+        // The bare name: `'a` for lifetimes, the first ident otherwise
+        // (skipping a leading `const`).
+        let mut name = String::new();
+        let mut iter = param.iter();
+        while let Some(tok) = iter.next() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    if let Some(TokenTree::Ident(id)) = iter.next() {
+                        name = format!("'{id}");
+                    }
+                    break;
+                }
+                TokenTree::Ident(id) if id.to_string() == "const" => continue,
+                TokenTree::Ident(id) => {
+                    name = id.to_string();
+                    break;
+                }
+                _ => {}
+            }
+        }
+        arg_parts.push(name);
+    }
+
+    Item {
+        name,
+        impl_generics: impl_parts.join(", "),
+        type_args: arg_parts.join(", "),
+    }
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let item = parse_item(input);
+    let code = if item.impl_generics.is_empty() {
+        format!(
+            "#[automatically_derived] impl {} for {} {{}}",
+            trait_path, item.name
+        )
+    } else {
+        format!(
+            "#[automatically_derived] impl<{}> {} for {}<{}> {{}}",
+            item.impl_generics, trait_path, item.name, item.type_args
+        )
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Emits `impl serde::Serialize for T {}` (the stub trait is empty).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Emits `impl serde::Deserialize for T {}` (the stub trait is empty).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
+
+// Keep Delimiter imported for future attribute parsing without warnings.
+#[allow(dead_code)]
+fn _unused(d: Delimiter) -> Delimiter {
+    d
+}
