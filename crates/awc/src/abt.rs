@@ -81,7 +81,7 @@ pub struct AbtAgent {
     /// Lower-priority agents that receive this agent's `ok?` messages.
     lower_links: BTreeSet<AgentId>,
     stats: AgentStats,
-    generated_before: std::collections::HashSet<Nogood>,
+    generated_before: BTreeSet<Nogood>,
     insoluble: bool,
 }
 
@@ -121,7 +121,7 @@ impl AbtAgent {
             store: NogoodStore::with_nogoods(nogoods),
             lower_links,
             stats: AgentStats::default(),
-            generated_before: std::collections::HashSet::new(),
+            generated_before: BTreeSet::new(),
             insoluble: false,
         }
     }
@@ -209,15 +209,17 @@ impl AbtAgent {
             return;
         }
         // Send to the lowest-priority agent in the nogood (largest id).
-        let lowest_var = nogood.vars().max().expect("nonempty nogood");
-        let target = self
-            .view
-            .entry(lowest_var)
-            .expect("view variables are known")
-            .agent;
+        // The nogood IS the agent view, so every variable resolves; the
+        // let-else fallbacks keep this hot path panic-free.
+        let Some(lowest_var) = nogood.vars().max() else {
+            return; // empty nogood already handled above
+        };
+        let Some(target) = self.view.entry(lowest_var).map(|e| e.agent) else {
+            return;
+        };
         let owners: Vec<(VariableId, AgentId)> = nogood
             .vars()
-            .map(|v| (v, self.view.entry(v).expect("in view").agent))
+            .filter_map(|v| self.view.entry(v).map(|e| (v, e.agent)))
             .collect();
         out.send(target, AbtMessage::Nogood { nogood, owners });
         // Assume the recipient changes: forget its value and re-check.
@@ -351,13 +353,12 @@ impl AbtSolver {
         for a in 0..problem.num_agents() {
             let agent_id = AgentId::new(a as u32);
             let vars = problem.vars_of_agent(agent_id);
-            if vars.len() != 1 {
+            let [var] = vars[..] else {
                 return Err(AwcError::WrongVariableCount {
                     agent: agent_id,
                     count: vars.len(),
                 });
-            }
-            let var = vars[0];
+            };
             let domain = problem.domain(var);
             let value = init
                 .get(var)
@@ -376,7 +377,7 @@ impl AbtSolver {
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(self.cycle_limit)
             .record_history(self.record_history);
-        Ok(sim.run(problem))
+        sim.run(problem).map_err(AwcError::from)
     }
 }
 

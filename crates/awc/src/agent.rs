@@ -1,6 +1,6 @@
 //! The AWC agent state machine (§2.2 of the paper).
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 use discsp_core::{
     AgentId, AgentView, Domain, IncrementalEval, Nogood, NogoodIdx, NogoodStore, Priority, Rank,
@@ -123,7 +123,7 @@ pub struct AwcAgent {
     outlinks: BTreeSet<AgentId>,
     config: AwcConfig,
     last_generated: Option<Nogood>,
-    generated_before: HashSet<Nogood>,
+    generated_before: BTreeSet<Nogood>,
     stats: AgentStats,
     insoluble: bool,
 }
@@ -165,7 +165,7 @@ impl AwcAgent {
             outlinks,
             config,
             last_generated: None,
-            generated_before: HashSet::new(),
+            generated_before: BTreeSet::new(),
             stats: AgentStats::default(),
             insoluble: false,
         }
@@ -272,8 +272,7 @@ impl AwcAgent {
         // priority bookkeeping, not nogood checking, so it is unmetered.
         let mut higher = Vec::new();
         let mut lower = Vec::new();
-        for i in 0..self.store.len() {
-            let ng = self.store.get(i).expect("index in range");
+        for (i, ng) in self.store.iter().enumerate() {
             if self.view.is_higher_nogood(ng, own_rank) {
                 higher.push(i);
             } else {
@@ -337,15 +336,11 @@ impl AwcAgent {
                 return;
             }
             // Send to every agent having a variable in the nogood.
+            // Learned nogoods only mention view variables, so the
+            // filter is vacuous; it keeps this hot path panic-free.
             let owners: Vec<(VariableId, AgentId)> = nogood
                 .vars()
-                .map(|v| {
-                    let entry = self
-                        .view
-                        .entry(v)
-                        .expect("learned nogood variables are always in the view");
-                    (v, entry.agent)
-                })
+                .filter_map(|v| self.view.entry(v).map(|entry| (v, entry.agent)))
                 .collect();
             let mut recipients: BTreeSet<AgentId> =
                 owners.iter().map(|&(_, agent)| agent).collect();
@@ -406,7 +401,7 @@ impl AwcAgent {
             .map(|v| (self.violated_among(indices, v).len(), distance(v), v))
             .min_by_key(|&(violations, dist, _)| (violations, dist))
             .map(|(_, _, v)| v)
-            .expect("candidates is nonempty")
+            .unwrap_or(self.value)
     }
 
     fn raise_priority(&mut self) {

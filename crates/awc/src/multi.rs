@@ -327,7 +327,7 @@ impl MultiAwcSolver {
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(self.cycle_limit)
             .record_history(self.record_history);
-        Ok(sim.run(problem))
+        sim.run(problem).map_err(AwcError::from)
     }
 }
 

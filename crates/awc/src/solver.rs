@@ -29,6 +29,9 @@ pub enum AwcError {
         /// The offending variable.
         var: VariableId,
     },
+    /// The underlying runtime failed (misrouted message, dead agent
+    /// thread).
+    Runtime(discsp_runtime::RuntimeError),
 }
 
 impl fmt::Display for AwcError {
@@ -41,11 +44,25 @@ impl fmt::Display for AwcError {
             AwcError::BadInitialValue { var } => {
                 write!(f, "variable {var} has no usable initial value")
             }
+            AwcError::Runtime(e) => write!(f, "runtime failure: {e}"),
         }
     }
 }
 
-impl Error for AwcError {}
+impl Error for AwcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AwcError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<discsp_runtime::RuntimeError> for AwcError {
+    fn from(e: discsp_runtime::RuntimeError) -> Self {
+        AwcError::Runtime(e)
+    }
+}
 
 /// Builds and runs AWC agent populations.
 ///
@@ -185,7 +202,7 @@ impl AwcSolver {
         if let Some((max_extra, seed)) = self.message_delay {
             sim.message_delay(max_extra, seed);
         }
-        Ok(sim.run(problem))
+        sim.run(problem).map_err(AwcError::from)
     }
 
     /// Runs on the asynchronous threads-and-channels runtime.
@@ -200,7 +217,7 @@ impl AwcSolver {
         config: &AsyncConfig,
     ) -> Result<AsyncReport, AwcError> {
         let agents = self.build_agents(problem, init)?;
-        Ok(run_async(agents, problem, config))
+        run_async(agents, problem, config).map_err(AwcError::from)
     }
 }
 

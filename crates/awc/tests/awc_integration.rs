@@ -147,7 +147,7 @@ fn nogoods_learned_are_logically_implied() {
     let solver = AwcSolver::new(AwcConfig::resolvent());
     let agents = solver.build_agents(&problem, &init).unwrap();
     let mut sim = discsp_runtime::SyncSimulator::new(agents);
-    let run = sim.run(&problem);
+    let run = sim.run(&problem).expect("runs");
     assert!(run.outcome.metrics.termination.is_solved());
 
     let solutions = Backtracker::new(&problem).enumerate(2000);
@@ -171,7 +171,7 @@ fn priorities_rise_only_at_deadends() {
     let solver = AwcSolver::new(AwcConfig::resolvent());
     let agents = solver.build_agents(&problem, &init).unwrap();
     let mut sim = discsp_runtime::SyncSimulator::new(agents);
-    let run = sim.run(&problem);
+    let run = sim.run(&problem).expect("runs");
     let total_deadends: u64 = run.outcome.metrics.nogoods_generated;
     let total_priority: u64 = sim.agents().iter().map(|a| a.priority().get()).sum();
     // Every priority unit was paid for by a deadend (several deadends

@@ -51,9 +51,13 @@ pub struct NogoodStore {
     /// Dedupe buckets: canonical-literal hash -> indices into `nogoods`.
     /// Storing indices (not clones) keeps each literal vector resident
     /// once, which matters for stores with thousands of learned nogoods.
+    // lint: allow(unordered): point lookups keyed by hash only; buckets
+    // are never iterated, so map order cannot reach any output.
     by_hash: HashMap<u64, Vec<u32>>,
     /// Per-variable index: every nogood mentioning the variable, in
     /// insertion order.
+    // lint: allow(unordered): point lookups keyed by variable; values are
+    // insertion-ordered index vectors, so map order cannot reach output.
     var_index: HashMap<VariableId, Vec<u32>>,
     checks: Cell<u64>,
 }

@@ -7,7 +7,7 @@
 //! solution SAT generator needs to eliminate them, and cross-checks
 //! solutions returned by AWC/DB.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use discsp_core::{Assignment, DistributedCsp, Value, VariableId};
 
@@ -58,7 +58,7 @@ pub struct Backtracker<'a> {
     problem: &'a DistributedCsp,
     node_limit: u64,
     away_from: Option<&'a Assignment>,
-    forbidden: HashSet<Vec<Value>>,
+    forbidden: BTreeSet<Vec<Value>>,
 }
 
 impl<'a> Backtracker<'a> {
@@ -68,7 +68,7 @@ impl<'a> Backtracker<'a> {
             problem,
             node_limit: 10_000_000,
             away_from: None,
-            forbidden: HashSet::new(),
+            forbidden: BTreeSet::new(),
         }
     }
 

@@ -275,11 +275,13 @@ impl DistributedAgent for DbaAgent {
             // no waves will ever run.
             self.sync_eval();
             let (_, _) = self.eval_value(self.value);
+            // Domains are nonempty by construction; the fallback keeps
+            // this step function panic-free.
             let best = self
                 .domain
                 .iter()
                 .min_by_key(|&d| self.eval_value(d).0)
-                .expect("nonempty domain");
+                .unwrap_or(self.value);
             self.value = best;
             return;
         }

@@ -26,6 +26,9 @@ pub enum DbaError {
         /// The offending variable.
         var: VariableId,
     },
+    /// The underlying runtime failed (misrouted message, dead agent
+    /// thread).
+    Runtime(discsp_runtime::RuntimeError),
 }
 
 impl fmt::Display for DbaError {
@@ -38,11 +41,25 @@ impl fmt::Display for DbaError {
             DbaError::BadInitialValue { var } => {
                 write!(f, "variable {var} has no usable initial value")
             }
+            DbaError::Runtime(e) => write!(f, "runtime failure: {e}"),
         }
     }
 }
 
-impl Error for DbaError {}
+impl Error for DbaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbaError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<discsp_runtime::RuntimeError> for DbaError {
+    fn from(e: discsp_runtime::RuntimeError) -> Self {
+        DbaError::Runtime(e)
+    }
+}
 
 /// Builds and runs distributed breakout agent populations.
 ///
@@ -171,7 +188,7 @@ impl DbaSolver {
         if let Some((max_extra, seed)) = self.message_delay {
             sim.message_delay(max_extra, seed);
         }
-        Ok(sim.run(problem))
+        sim.run(problem).map_err(DbaError::from)
     }
 
     /// Runs on the asynchronous threads-and-channels runtime.
@@ -192,7 +209,7 @@ impl DbaSolver {
         let agents = self.build_agents(problem, init)?;
         let mut config = config.clone();
         config.stop_on_first_solution = true;
-        Ok(run_async(agents, problem, &config))
+        run_async(agents, problem, &config).map_err(DbaError::from)
     }
 }
 

@@ -1,0 +1,142 @@
+//! Findings and their two output formats: rustc-style text and JSON.
+
+use std::fmt::Write as _;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (exit code 1).
+    Error,
+    /// Reported but does not fail the run (e.g. stale allowlist entries).
+    Warning,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One rule violation (or meta-problem such as a stale allowlist entry).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule code (`D1`, `D2`, `M1`, `P1`, `A0`).
+    pub rule: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// One-line description of the violation.
+    pub message: String,
+    /// The offending source line, for context.
+    pub snippet: String,
+    /// Rule-specific remediation hint.
+    pub help: &'static str,
+}
+
+/// Renders one finding in rustc diagnostic style.
+pub fn render_text(f: &Finding) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", f.severity.label(), f.rule, f.message);
+    let _ = writeln!(out, "  --> {}:{}:{}", f.path, f.line, f.col);
+    let gutter = f.line.to_string().len().max(3);
+    let _ = writeln!(out, "{:gutter$} |", "");
+    let _ = writeln!(out, "{:>gutter$} | {}", f.line, f.snippet.trim_end());
+    let caret_pad = f.col.saturating_sub(1) as usize;
+    let _ = writeln!(out, "{:gutter$} | {:caret_pad$}^", "", "");
+    if !f.help.is_empty() {
+        let _ = writeln!(out, "{:gutter$} = help: {}", "", f.help);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders all findings as one JSON array (machine-readable mode).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"snippet\":\"{}\"}}",
+            f.rule,
+            f.severity.label(),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            json_escape(f.snippet.trim_end()),
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "D1",
+            severity: Severity::Error,
+            path: "crates/x/src/a.rs".into(),
+            line: 12,
+            col: 5,
+            message: "iteration-order-unstable collection `HashSet`".into(),
+            snippet: "    field: HashSet<u32>,".into(),
+            help: "use BTreeSet",
+        }
+    }
+
+    #[test]
+    fn text_has_rustc_shape() {
+        let text = render_text(&finding());
+        assert!(text.contains("error[D1]:"));
+        assert!(text.contains("--> crates/x/src/a.rs:12:5"));
+        assert!(text.contains("= help: use BTreeSet"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_parsable_shape() {
+        let mut f = finding();
+        f.message = "quote \" and backslash \\".into();
+        let json = render_json(&[f]);
+        assert!(json.starts_with('['));
+        assert!(json.contains(r#""rule":"D1""#));
+        assert!(json.contains(r#"quote \" and backslash \\"#));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn empty_findings_render_as_empty_array() {
+        assert_eq!(render_json(&[]), "[\n]\n");
+    }
+}

@@ -1,0 +1,126 @@
+//! `discsp-lint`: a workspace invariant analyzer for this repository.
+//!
+//! The paper this repo reproduces (Hirayama & Yokoo, ICDCS 2000)
+//! measures algorithms in *cycles* and *constraint checks* — quantities
+//! that are only meaningful if runs are bit-deterministic and every
+//! constraint evaluation is metered. Ordinary compilers cannot enforce
+//! either, so this crate does, with four token-level rules:
+//!
+//! - **D1** — no `HashMap`/`HashSet` in agent/solver/metric code
+//!   (iteration order is randomized per process).
+//! - **D2** — no `Instant::now`/`SystemTime`/`thread_rng` in simulator
+//!   paths (cost is cycles and checks, never seconds).
+//! - **M1** — nogood-store queries in AWC/DBA hot loops must be metered
+//!   (via `IncrementalEval::eval` or a nearby `charge_checks`).
+//! - **P1** — no panic paths in the runtime or agent step functions
+//!   (one agent's failure must degrade into a reported error).
+//!
+//! Violations can be exempted inline
+//! (`// lint: allow(<name>): <justification>`) or via the workspace
+//! allowlist file `lint-allow.list`; both demand a justification and
+//! both rot loudly (**A0**) when they stop matching anything.
+//!
+//! The crate deliberately has **zero dependencies**: it must build and
+//! run in the offline environment before anything else does, so it can
+//! gate the rest of the workspace.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+use allow::Allowlist;
+use diag::{Finding, Severity};
+use rules::{check_source, rules_for, Rule};
+
+/// Result of analyzing a whole workspace.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All findings, in path order.
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// Whether any finding is an error (exit code 1).
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+}
+
+/// Analyzes one file's source with the given rules and allowlist.
+/// `rel_path` is used for scope-independent reporting and allowlist
+/// matching; pass the workspace-relative path when you have one.
+pub fn analyze_source(
+    rel_path: &str,
+    src: &str,
+    rules: &[Rule],
+    allowlist: &Allowlist,
+) -> Vec<Finding> {
+    check_source(rel_path, src, rules)
+        .into_iter()
+        .filter(|f| !allowlist.covers(f))
+        .collect()
+}
+
+/// Analyzes every lintable file under `root/crates/`, applying the
+/// scope map and the `lint-allow.list` file at the root (if present).
+pub fn analyze_workspace(root: &Path) -> WorkspaceReport {
+    let allow_path = root.join("lint-allow.list");
+    let (allowlist, mut findings) = match fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse("lint-allow.list", &text),
+        Err(_) => (Allowlist::empty(), Vec::new()),
+    };
+
+    let files = walk::lintable_files(root);
+    let files_scanned = files.len();
+    for rel in &files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let rules = rules_for(&rel_str);
+        if rules.is_empty() {
+            continue;
+        }
+        let Ok(src) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        findings.extend(analyze_source(&rel_str, &src, &rules, &allowlist));
+    }
+    findings.extend(allowlist.unused_entries());
+
+    WorkspaceReport {
+        findings,
+        files_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_filters_findings_in_analyze_source() {
+        let (al, errs) = Allowlist::parse(
+            "lint-allow.list",
+            "D1 | src/a.rs | HashMap | lookups only, order never observed\n",
+        );
+        assert!(errs.is_empty());
+        let src = "struct S { m: HashMap<u64, u8> }\n";
+        let fs = analyze_source("crates/x/src/a.rs", src, &[Rule::D1], &al);
+        assert!(fs.is_empty());
+        assert!(al.unused_entries().is_empty());
+    }
+
+    #[test]
+    fn findings_survive_without_matching_entry() {
+        let al = Allowlist::empty();
+        let src = "struct S { m: HashMap<u64, u8> }\n";
+        let fs = analyze_source("crates/x/src/a.rs", src, &[Rule::D1], &al);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "D1");
+    }
+}

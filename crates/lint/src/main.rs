@@ -1,0 +1,178 @@
+//! The `discsp-lint` binary.
+//!
+//! ```text
+//! cargo run -p discsp-lint                  # lint the whole workspace
+//! cargo run -p discsp-lint -- --json       # machine-readable output
+//! cargo run -p discsp-lint -- FILE.rs ...  # lint specific files, all rules
+//! ```
+//!
+//! Exits 0 when no error-severity findings exist, 1 when any do, and
+//! 2 on usage errors. Warnings (stale allowlist entries, unused inline
+//! annotations) are printed but do not fail the run.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use discsp_lint::allow::Allowlist;
+use discsp_lint::diag::{render_json, render_text, Finding, Severity};
+use discsp_lint::rules::ALL_RULES;
+use discsp_lint::{analyze_source, analyze_workspace};
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: discsp-lint [--root DIR] [--allowlist FILE] [--json] [FILES...]\n\
+     \n\
+     With FILES, every rule is applied to each file regardless of the\n\
+     scope map (fixture/debug mode). Without FILES, the workspace under\n\
+     --root (autodetected from the current directory) is analyzed with\n\
+     the scope map and lint-allow.list."
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        allowlist: None,
+        json: false,
+        files: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => opts.json = true,
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--allowlist" => {
+                i += 1;
+                let file = args.get(i).ok_or("--allowlist needs a file argument")?;
+                opts.allowlist = Some(PathBuf::from(file));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Walks upward from the current directory to the first directory that
+/// looks like the workspace root (has both `Cargo.toml` and `crates/`).
+fn detect_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn load_allowlist(path: &Path) -> (Allowlist, Vec<Finding>) {
+    match fs::read_to_string(path) {
+        Ok(text) => Allowlist::parse(&path.to_string_lossy(), &text),
+        Err(e) => {
+            eprintln!("discsp-lint: cannot read allowlist {}: {e}", path.display());
+            (Allowlist::empty(), Vec::new())
+        }
+    }
+}
+
+/// Fixture/debug mode: every rule on every named file, so rule behavior
+/// can be exercised on files outside the workspace scope map.
+fn run_on_files(opts: &Options) -> Result<Vec<Finding>, String> {
+    let (allowlist, mut findings) = match &opts.allowlist {
+        Some(path) => load_allowlist(path),
+        None => (Allowlist::empty(), Vec::new()),
+    };
+    for file in &opts.files {
+        let src = fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let rel = file.to_string_lossy().replace('\\', "/");
+        findings.extend(analyze_source(&rel, &src, &ALL_RULES, &allowlist));
+    }
+    findings.extend(allowlist.unused_entries());
+    Ok(findings)
+}
+
+fn run_on_workspace(opts: &Options) -> Result<(Vec<Finding>, usize), String> {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => detect_root().ok_or(
+            "cannot find workspace root (no Cargo.toml + crates/ above the current \
+             directory); pass --root",
+        )?,
+    };
+    let report = analyze_workspace(&root);
+    Ok((report.findings, report.files_scanned))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("discsp-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = if opts.files.is_empty() {
+        run_on_workspace(&opts).map(|(f, n)| (f, Some(n)))
+    } else {
+        run_on_files(&opts).map(|f| (f, None))
+    };
+    let (findings, files_scanned) = match outcome {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("discsp-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warnings = findings.len() - errors;
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            print!("{}", render_text(f));
+            println!();
+        }
+        let scanned = files_scanned.map_or(String::new(), |n| format!(" across {n} files"));
+        if errors == 0 && warnings == 0 {
+            println!("discsp-lint: clean{scanned}");
+        } else {
+            println!(
+                "discsp-lint: {errors} error{}, {warnings} warning{}{scanned}",
+                if errors == 1 { "" } else { "s" },
+                if warnings == 1 { "" } else { "s" },
+            );
+        }
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,74 @@
+//! Workspace file discovery.
+//!
+//! Collects `.rs` files under `<root>/crates/`, skipping directories
+//! that are out of scope by construction: build output, vendored
+//! dependencies, and test/bench/example/fixture trees (tests are exempt
+//! from every rule).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures",
+];
+
+/// Returns workspace-relative paths of all lintable `.rs` files under
+/// `<root>/crates/`, sorted so output order is stable. I/O errors on
+/// individual entries are skipped rather than fatal — a half-readable
+/// tree should still produce findings for the readable half.
+pub fn lintable_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(&root.join("crates"), &mut out);
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).map(Path::to_path_buf).ok())
+        .collect();
+    rel.sort();
+    rel
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_and_skips_exempt_dirs() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root resolves");
+        let files = lintable_files(&root);
+        assert!(!files.is_empty());
+        let as_str: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(as_str.iter().any(|p| p == "crates/lint/src/walk.rs"));
+        assert!(as_str.iter().all(|p| !p.contains("/tests/")));
+        assert!(as_str.iter().all(|p| !p.contains("/target/")));
+        assert!(as_str.iter().all(|p| p.ends_with(".rs")));
+        // Sorted output keeps diagnostics diffable between runs.
+        let mut sorted = as_str.clone();
+        sorted.sort();
+        assert_eq!(as_str, sorted);
+    }
+}

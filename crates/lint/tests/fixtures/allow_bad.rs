@@ -1,0 +1,12 @@
+//! A0 fixture: broken suppression machinery must be loud.
+
+// lint: allow(panic)
+pub fn naked_allow(choice: Option<i64>) -> i64 {
+    choice.unwrap()
+}
+
+// lint: allow(hashmaps): unknown rule name
+pub fn unknown_name() {}
+
+// lint: allow(unordered): this annotation covers nothing at all
+pub fn unused_allow() {}

@@ -1,0 +1,12 @@
+//! D1 positive fixture: unordered collections in non-test code.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct AgentState {
+    pub generated_before: HashSet<u64>,
+    pub view: HashMap<u32, i64>,
+}
+
+pub fn tally(state: &AgentState) -> usize {
+    state.generated_before.len() + state.view.len()
+}

@@ -1,0 +1,10 @@
+//! D2 positive fixture: wall-clock and entropy in simulator-style code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn step_with_timing() -> u128 {
+    let start = Instant::now();
+    let _seed = SystemTime::now();
+    let _r = thread_rng();
+    start.elapsed().as_micros()
+}

@@ -1,0 +1,10 @@
+//! M1 positive fixture: a nogood-store query with no metering in sight.
+
+pub fn consistent(&self, var: u32, val: i64) -> bool {
+    for ng in self.store.for_variable(var) {
+        if ng.binds(var, val) {
+            return false;
+        }
+    }
+    true
+}

@@ -1,0 +1,11 @@
+//! P1 positive fixture: the four panic shapes the rule knows.
+
+pub fn step(values: &[i64], choice: Option<i64>) -> i64 {
+    let first = values[0];
+    let picked = choice.unwrap();
+    let checked = choice.expect("a value");
+    if first > picked + checked {
+        panic!("inconsistent state");
+    }
+    first
+}

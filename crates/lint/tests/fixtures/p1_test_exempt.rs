@@ -1,0 +1,25 @@
+//! P1 negative fixture: panics in tests are fine; handled variants too.
+
+pub fn step(values: &[i64], choice: Option<i64>) -> i64 {
+    let first = values.first().copied().unwrap_or(0);
+    choice.unwrap_or(first)
+}
+
+#[test]
+fn unwrap_in_test_is_exempt() {
+    let v = Some(3).unwrap();
+    assert_eq!(v, 3);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_test_modules_are_exempt() {
+        let xs = [1, 2, 3];
+        let _ = xs[0];
+        Some(1).expect("present");
+        if false {
+            panic!("never");
+        }
+    }
+}

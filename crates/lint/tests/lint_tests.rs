@@ -1,0 +1,192 @@
+//! Fixture-based self-tests for every rule, plus the workspace
+//! self-run: the tree that ships this analyzer must itself be clean.
+
+use std::path::Path;
+use std::process::Command;
+
+use discsp_lint::allow::Allowlist;
+use discsp_lint::diag::{render_json, Finding, Severity};
+use discsp_lint::rules::ALL_RULES;
+use discsp_lint::{analyze_source, analyze_workspace};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs all rules over a fixture with an empty allowlist, the same way
+/// the binary's explicit-files mode does.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    analyze_source(
+        &format!("crates/lint/tests/fixtures/{name}"),
+        &fixture(name),
+        &ALL_RULES,
+        &Allowlist::empty(),
+    )
+}
+
+fn rule_lines(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn d1_bad_flags_both_collections_at_their_lines() {
+    let fs = lint_fixture("d1_bad.rs");
+    assert_eq!(rule_lines(&fs, "D1"), vec![6, 7]);
+    assert!(fs.iter().all(|f| f.severity == Severity::Error));
+    let f = &fs[0];
+    assert!(f.message.contains("HashSet"));
+    assert!(f.snippet.contains("generated_before"));
+}
+
+#[test]
+fn d1_allowed_is_clean() {
+    assert!(lint_fixture("d1_allowed.rs").is_empty());
+}
+
+#[test]
+fn d2_bad_flags_all_three_sources() {
+    let fs = lint_fixture("d2_bad.rs");
+    assert_eq!(rule_lines(&fs, "D2"), vec![6, 7, 8]);
+}
+
+#[test]
+fn m1_bad_flags_unmetered_query() {
+    let fs = lint_fixture("m1_bad.rs");
+    assert_eq!(rule_lines(&fs, "M1"), vec![4]);
+    assert!(fs[0].message.contains("for_variable"));
+}
+
+#[test]
+fn m1_good_is_clean() {
+    assert!(lint_fixture("m1_good.rs").is_empty());
+}
+
+#[test]
+fn p1_bad_flags_all_four_shapes() {
+    let fs = lint_fixture("p1_bad.rs");
+    assert_eq!(rule_lines(&fs, "P1"), vec![4, 5, 6, 8]);
+}
+
+#[test]
+fn p1_test_exempt_is_clean() {
+    assert!(lint_fixture("p1_test_exempt.rs").is_empty());
+}
+
+#[test]
+fn broken_annotations_are_a0() {
+    let fs = lint_fixture("allow_bad.rs");
+    let a0_errors: Vec<u32> = fs
+        .iter()
+        .filter(|f| f.rule == "A0" && f.severity == Severity::Error)
+        .map(|f| f.line)
+        .collect();
+    // Missing justification (line 3) and unknown name (line 8).
+    assert_eq!(a0_errors, vec![3, 8]);
+    // The rejected allow(panic) must not suppress the unwrap.
+    assert_eq!(rule_lines(&fs, "P1"), vec![5]);
+    // The valid-but-pointless allow(unordered) is a warning.
+    assert!(fs
+        .iter()
+        .any(|f| f.rule == "A0" && f.severity == Severity::Warning && f.line == 11));
+}
+
+#[test]
+fn file_allowlist_suppresses_and_reports_stale_entries() {
+    let (allow, errs) = Allowlist::parse(
+        "lint-allow.list",
+        "D1 | fixtures/d1_bad.rs | generated_before | membership set, iteration never observed\n\
+         P1 | fixtures/nonexistent.rs | unwrap | stale entry that matches nothing anywhere\n",
+    );
+    assert!(errs.is_empty());
+    let fs = analyze_source(
+        "crates/lint/tests/fixtures/d1_bad.rs",
+        &fixture("d1_bad.rs"),
+        &ALL_RULES,
+        &allow,
+    );
+    // The HashSet on line 6 is exempted; the HashMap on line 7 is not.
+    assert_eq!(rule_lines(&fs, "D1"), vec![7]);
+    let stale = allow.unused_entries();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].line, 2);
+    assert_eq!(stale[0].severity, Severity::Warning);
+}
+
+#[test]
+fn workspace_self_run_is_clean_at_head() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = analyze_workspace(&root);
+    assert!(report.files_scanned > 40, "walker should see the whole workspace");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean at HEAD, got:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}[{}] {}:{} {}", match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            }, f.rule, f.path, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_violations() {
+    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/p1_bad.rs");
+    let output = Command::new(env!("CARGO_BIN_EXE_discsp-lint"))
+        .arg(&fixture_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("error[P1]"));
+    assert!(stdout.contains("p1_bad.rs:4:"));
+    assert!(stdout.contains("= help:"));
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let output = Command::new(env!("CARGO_BIN_EXE_discsp-lint"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("discsp-lint: clean"));
+}
+
+#[test]
+fn binary_json_mode_emits_machine_readable_findings() {
+    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/d2_bad.rs");
+    let output = Command::new(env!("CARGO_BIN_EXE_discsp-lint"))
+        .arg("--json")
+        .arg(&fixture_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.contains(r#""rule":"D2""#));
+    assert!(stdout.contains(r#""line":6"#));
+    // The library renderer and the binary agree on shape.
+    let fs = lint_fixture("d2_bad.rs");
+    let rendered = render_json(&fs);
+    assert!(rendered.contains(r#""rule":"D2""#));
+}

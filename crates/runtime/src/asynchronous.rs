@@ -21,10 +21,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use discsp_core::{Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome};
+use discsp_core::{AgentId, Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome};
 use parking_lot::Mutex;
 
 use crate::agent::{AgentStats, DistributedAgent, Outbox};
+use crate::error::RuntimeError;
 use crate::message::{Envelope, MessageClass};
 use crate::seed::SplitMix64;
 
@@ -81,25 +82,37 @@ struct Shared {
     ok_messages: AtomicU64,
     nogood_messages: AtomicU64,
     other_messages: AtomicU64,
+    /// Raw id + 1 of the first unroutable addressee; 0 = none. Set by
+    /// worker threads, turned into [`RuntimeError::UnknownRecipient`] by
+    /// the observer.
+    bad_recipient: AtomicU64,
 }
 
 /// Runs `agents` asynchronously against `problem` until a stable solution,
 /// a proof of insolubility, or the wall-clock limit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless agent *i* reports id *i* (dense routing, as in the
-/// synchronous simulator), or if an agent thread panics.
-pub fn run_async<A>(agents: Vec<A>, problem: &DistributedCsp, config: &AsyncConfig) -> AsyncReport
+/// [`RuntimeError::NonDenseAgentIds`] unless agent *i* reports id *i*
+/// (dense routing, as in the synchronous simulator);
+/// [`RuntimeError::UnknownRecipient`] when a message addresses an agent
+/// outside the population; [`RuntimeError::AgentPanicked`] when an agent
+/// thread dies mid-run (the remaining threads are shut down first).
+pub fn run_async<A>(
+    agents: Vec<A>,
+    problem: &DistributedCsp,
+    config: &AsyncConfig,
+) -> Result<AsyncReport, RuntimeError>
 where
     A: DistributedAgent + Send + 'static,
 {
-    for (i, agent) in agents.iter().enumerate() {
-        assert_eq!(
-            agent.id().index(),
-            i,
-            "agents must be supplied in dense id order"
-        );
+    for (position, agent) in agents.iter().enumerate() {
+        if agent.id().index() != position {
+            return Err(RuntimeError::NonDenseAgentIds {
+                position,
+                found: agent.id(),
+            });
+        }
     }
     let n = agents.len();
     let shared = Arc::new(Shared {
@@ -112,11 +125,14 @@ where
         ok_messages: AtomicU64::new(0),
         nogood_messages: AtomicU64::new(0),
         other_messages: AtomicU64::new(0),
+        bad_recipient: AtomicU64::new(0),
     });
 
     let (senders, receivers): (Vec<Sender<Envelope<A::Message>>>, Vec<_>) =
         (0..n).map(|_| unbounded()).unzip();
 
+    // lint: allow(timing): wall-clock cutoff is inherent to the async
+    // runtime; the paper's cycle/maxcck metrics are sync-simulator-only.
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
     for (i, (mut agent, rx)) in agents.into_iter().zip(receivers).enumerate() {
@@ -130,12 +146,21 @@ where
         }));
     }
 
-    // Observer: wait for quiescent solution, insolubility, or timeout.
+    // Observer: wait for quiescent solution, insolubility, a routing
+    // failure, or timeout.
     let mut termination = Termination::CutOff;
+    let mut error = None;
     loop {
         thread::sleep(Duration::from_micros(200));
         if shared.insoluble.load(Ordering::SeqCst) {
             termination = Termination::Insoluble;
+            break;
+        }
+        let bad = shared.bad_recipient.load(Ordering::SeqCst);
+        if bad != 0 {
+            error = Some(RuntimeError::UnknownRecipient {
+                agent: AgentId::new((bad - 1) as u32),
+            });
             break;
         }
         let all_started = shared.started.load(Ordering::SeqCst) as usize == n;
@@ -155,10 +180,25 @@ where
 
     let mut metrics = RunMetrics::new(termination);
     let mut agent_stats = AgentStats::default();
-    for handle in handles {
-        let mut agent = handle.join().expect("agent thread panicked");
-        metrics.total_checks += agent.take_checks();
-        agent_stats.absorb(agent.stats());
+    for (position, handle) in handles.into_iter().enumerate() {
+        // Join every thread even after a failure: a panic poisons one
+        // agent's channel, not the process. The first failure wins.
+        match handle.join() {
+            Ok(mut agent) => {
+                metrics.total_checks += agent.take_checks();
+                agent_stats.absorb(agent.stats());
+            }
+            Err(_) => {
+                if error.is_none() {
+                    error = Some(RuntimeError::AgentPanicked {
+                        agent: AgentId::new(position as u32),
+                    });
+                }
+            }
+        }
+    }
+    if let Some(error) = error {
+        return Err(error);
     }
     metrics.ok_messages = shared.ok_messages.load(Ordering::SeqCst);
     metrics.nogood_messages = shared.nogood_messages.load(Ordering::SeqCst);
@@ -173,11 +213,11 @@ where
         None
     };
 
-    AsyncReport {
+    Ok(AsyncReport {
         outcome: TrialOutcome { metrics, solution },
         wall_time: start.elapsed(),
         activations: shared.activations.load(Ordering::SeqCst),
-    }
+    })
 }
 
 fn worker<A: DistributedAgent>(
@@ -247,9 +287,19 @@ fn dispatch<M: crate::message::Classify>(
             MessageClass::Other => shared.other_messages.fetch_add(1, Ordering::SeqCst),
         };
         let to = env.to.index();
+        let Some(sender) = senders.get(to) else {
+            // Unroutable addressee: report it instead of panicking the
+            // worker thread; the observer turns this into an error.
+            shared
+                .bad_recipient
+                .compare_exchange(0, env.to.raw() as u64 + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .ok();
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        };
         // A send can fail only during shutdown, when the receiver exited;
         // the message no longer matters but the counter must stay exact.
-        if senders[to].send(env).is_err() {
+        if sender.send(env).is_err() {
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -352,7 +402,7 @@ mod tests {
     #[test]
     fn async_run_converges_to_quiescent_solution() {
         let problem = all_true_problem(5);
-        let report = run_async(ring(5), &problem, &AsyncConfig::default());
+        let report = run_async(ring(5), &problem, &AsyncConfig::default()).expect("runs");
         assert_eq!(report.outcome.metrics.termination, Termination::Solved);
         let sol = report.outcome.solution.unwrap();
         for i in 0..5 {
@@ -371,7 +421,7 @@ mod tests {
             seed: 7,
             ..AsyncConfig::default()
         };
-        let report = run_async(ring(4), &problem, &config);
+        let report = run_async(ring(4), &problem, &config).expect("runs");
         assert_eq!(report.outcome.metrics.termination, Termination::Solved);
     }
 
@@ -386,7 +436,7 @@ mod tests {
             max_wall_time: Duration::from_millis(200),
             ..AsyncConfig::default()
         };
-        let report = run_async(agents, &problem, &config);
+        let report = run_async(agents, &problem, &config).expect("runs");
         assert_eq!(report.outcome.metrics.termination, Termination::CutOff);
         assert!(report.outcome.solution.is_none());
     }

@@ -17,6 +17,7 @@
 
 mod agent;
 mod asynchronous;
+mod error;
 mod message;
 mod seed;
 mod sync;
@@ -24,6 +25,7 @@ mod trace;
 
 pub use agent::{AgentStats, DistributedAgent, Outbox};
 pub use asynchronous::{run_async, AsyncConfig, AsyncReport};
+pub use error::RuntimeError;
 pub use message::{Classify, Envelope, MessageClass};
 pub use seed::{derive_seed, SplitMix64};
 pub use sync::{CycleRecord, SyncRun, SyncSimulator};

@@ -14,6 +14,7 @@ use discsp_core::{
 use serde::{Deserialize, Serialize};
 
 use crate::agent::{AgentStats, DistributedAgent, Outbox};
+use crate::error::RuntimeError;
 use crate::message::{Classify, Envelope};
 use crate::seed::SplitMix64;
 use crate::trace::TraceEvent;
@@ -71,18 +72,12 @@ impl<A: DistributedAgent> SyncSimulator<A> {
     /// Creates a simulator over `agents` with the paper's 10 000-cycle
     /// limit.
     ///
-    /// # Panics
+    /// The population must be densely indexed — agent *i* reporting id
+    /// *i* — because the simulator routes messages by index; [`run`]
+    /// reports a [`RuntimeError`] otherwise.
     ///
-    /// Panics unless agent *i* reports id *i* — the simulator routes
-    /// messages by dense agent index.
+    /// [`run`]: SyncSimulator::run
     pub fn new(agents: Vec<A>) -> Self {
-        for (i, agent) in agents.iter().enumerate() {
-            assert_eq!(
-                agent.id().index(),
-                i,
-                "agents must be supplied in dense id order"
-            );
-        }
         SyncSimulator {
             agents,
             cycle_limit: PAPER_CYCLE_LIMIT,
@@ -133,8 +128,22 @@ impl<A: DistributedAgent> SyncSimulator<A> {
     ///
     /// Returns the trial outcome; metrics follow the paper's definitions
     /// (`cycles`, `maxcck` = Σ per-cycle max agent checks).
-    pub fn run(&mut self, problem: &DistributedCsp) -> SyncRun {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NonDenseAgentIds`] when the population is not
+    /// densely indexed, [`RuntimeError::UnknownRecipient`] when an agent
+    /// addresses a message outside the population.
+    pub fn run(&mut self, problem: &DistributedCsp) -> Result<SyncRun, RuntimeError> {
         let n = self.agents.len();
+        for (position, agent) in self.agents.iter().enumerate() {
+            if agent.id().index() != position {
+                return Err(RuntimeError::NonDenseAgentIds {
+                    position,
+                    found: agent.id(),
+                });
+            }
+        }
         // Messages tagged with their delivery cycle (normally the next
         // one; later under a message-delay model).
         let mut pending: Vec<(u64, Envelope<A::Message>)> = Vec::new();
@@ -154,10 +163,14 @@ impl<A: DistributedAgent> SyncSimulator<A> {
             // Distribute the messages due this cycle into per-agent
             // inboxes.
             let mut inboxes: Vec<Vec<Envelope<A::Message>>> = (0..n).map(|_| Vec::new()).collect();
+            let mut routing_error = None;
             pending.retain(|(deliver_at, env)| {
                 if *deliver_at <= cycle {
                     let to = env.to.index();
-                    assert!(to < n, "message addressed to unknown agent {}", env.to);
+                    if to >= n {
+                        routing_error = Some(env.to);
+                        return false;
+                    }
                     if self.record_trace {
                         trace.push(TraceEvent::Delivered {
                             cycle,
@@ -172,6 +185,9 @@ impl<A: DistributedAgent> SyncSimulator<A> {
                     true
                 }
             });
+            if let Some(agent) = routing_error {
+                return Err(RuntimeError::UnknownRecipient { agent });
+            }
 
             // All agents act "simultaneously": each reads its inbox and
             // queues sends, which are delivered next cycle (or later
@@ -268,11 +284,11 @@ impl<A: DistributedAgent> SyncSimulator<A> {
         metrics.redundant_nogoods = stats.redundant_nogoods;
         metrics.largest_nogood = stats.largest_nogood;
 
-        SyncRun {
+        Ok(SyncRun {
             outcome: TrialOutcome { metrics, solution },
             history,
             trace,
-        }
+        })
     }
 }
 
@@ -373,7 +389,7 @@ mod tests {
     fn converges_and_counts_cycles() {
         let problem = all_equal_problem(4);
         let mut sim = SyncSimulator::new(followers(4));
-        let run = sim.run(&problem);
+        let run = sim.run(&problem).expect("runs");
         let m = &run.outcome.metrics;
         assert_eq!(m.termination, Termination::Solved);
         // Cycle 1: agent 0 announces. Cycle 2: others adopt → solved.
@@ -388,7 +404,7 @@ mod tests {
     fn maxcck_takes_per_cycle_maximum() {
         let problem = all_equal_problem(4);
         let mut sim = SyncSimulator::new(followers(4));
-        let run = sim.run(&problem);
+        let run = sim.run(&problem).expect("runs");
         // Cycle 1: zero checks anywhere. Cycle 2: each follower "checks"
         // once (toy accounting), so the per-cycle max is 1.
         assert_eq!(run.outcome.metrics.maxcck, 1);
@@ -404,7 +420,7 @@ mod tests {
         agents[0].peers = 1;
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(50);
-        let run = sim.run(&problem);
+        let run = sim.run(&problem).expect("runs");
         assert_eq!(run.outcome.metrics.termination, Termination::CutOff);
         assert_eq!(run.outcome.metrics.cycles, 50);
         assert!(run.outcome.solution.is_none());
@@ -415,7 +431,7 @@ mod tests {
         let problem = all_equal_problem(3);
         let mut sim = SyncSimulator::new(followers(3));
         sim.record_history(true);
-        let run = sim.run(&problem);
+        let run = sim.run(&problem).expect("runs");
         assert_eq!(run.history.len(), run.outcome.metrics.cycles as usize);
         assert_eq!(run.history[0].cycle, 1);
         // Final cycle has zero violations (solved).
@@ -423,23 +439,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dense id order")]
     fn misordered_agents_rejected() {
+        let problem = all_equal_problem(2);
         let mut agents = followers(2);
         agents.swap(0, 1);
-        let _ = SyncSimulator::new(agents);
+        let err = SyncSimulator::new(agents).run(&problem).unwrap_err();
+        assert_eq!(
+            err,
+            crate::RuntimeError::NonDenseAgentIds {
+                position: 0,
+                found: AgentId::new(1),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_recipient_reported_not_panicked() {
+        // Agent 0 believes there are 5 peers, but only 2 exist: its
+        // start-up announcements address agents outside the population.
+        let problem = all_equal_problem(2);
+        let mut agents = followers(2);
+        agents[0].peers = 5;
+        let err = SyncSimulator::new(agents).run(&problem).unwrap_err();
+        assert!(matches!(err, crate::RuntimeError::UnknownRecipient { .. }));
     }
 
     #[test]
     fn message_delay_slows_but_preserves_convergence() {
         let problem = all_equal_problem(4);
         let mut baseline = SyncSimulator::new(followers(4));
-        let base = baseline.run(&problem);
+        let base = baseline.run(&problem).expect("runs");
         assert_eq!(base.outcome.metrics.cycles, 2);
 
         let mut delayed = SyncSimulator::new(followers(4));
         delayed.message_delay(5, 99);
-        let run = delayed.run(&problem);
+        let run = delayed.run(&problem).expect("runs");
         assert_eq!(run.outcome.metrics.termination, Termination::Solved);
         assert!(
             run.outcome.metrics.cycles >= base.outcome.metrics.cycles,
@@ -455,7 +489,7 @@ mod tests {
         let run_with = |seed: u64| {
             let mut sim = SyncSimulator::new(followers(4));
             sim.message_delay(4, seed);
-            sim.run(&problem).outcome.metrics.cycles
+            sim.run(&problem).expect("runs").outcome.metrics.cycles
         };
         assert_eq!(run_with(3), run_with(3));
     }
@@ -468,7 +502,7 @@ mod tests {
             a.value = Value::new(1); // already agreeing
         }
         let mut sim = SyncSimulator::new(agents);
-        let run = sim.run(&problem);
+        let run = sim.run(&problem).expect("runs");
         assert_eq!(run.outcome.metrics.cycles, 1);
         assert_eq!(run.outcome.metrics.termination, Termination::Solved);
     }

@@ -120,7 +120,7 @@ fn sync_propagation_takes_distance_cycles() {
     // cycle, plus the start cycle.
     let problem = all_hold(6, 9, 10);
     let mut sim = SyncSimulator::new(agents(6, 0, 9));
-    let run = sim.run(&problem);
+    let run = sim.run(&problem).expect("runs");
     assert!(run.outcome.metrics.termination.is_solved());
     assert_eq!(run.outcome.metrics.cycles, 6);
 }
@@ -130,10 +130,10 @@ fn sync_delay_stretches_propagation_deterministically() {
     let problem = all_hold(6, 9, 10);
     let mut sim = SyncSimulator::new(agents(6, 0, 9));
     sim.message_delay(3, 42);
-    let a = sim.run(&problem).outcome.metrics.cycles;
+    let a = sim.run(&problem).expect("runs").outcome.metrics.cycles;
     let mut sim = SyncSimulator::new(agents(6, 0, 9));
     sim.message_delay(3, 42);
-    let b = sim.run(&problem).outcome.metrics.cycles;
+    let b = sim.run(&problem).expect("runs").outcome.metrics.cycles;
     assert_eq!(a, b);
     assert!(a >= 6, "delay can only stretch the 5-hop propagation");
     assert!(a <= 6 + 5 * 3, "each hop delays at most 3 extra cycles");
@@ -144,7 +144,7 @@ fn sync_history_shows_monotone_violation_decline() {
     let problem = all_hold(5, 4, 5);
     let mut sim = SyncSimulator::new(agents(5, 2, 4));
     sim.record_history(true);
-    let run = sim.run(&problem);
+    let run = sim.run(&problem).expect("runs");
     let violations: Vec<u64> = run.history.iter().map(|r| r.violations).collect();
     // Max spreads outward from the middle: violations never increase.
     for w in violations.windows(2) {
@@ -156,7 +156,7 @@ fn sync_history_shows_monotone_violation_decline() {
 #[test]
 fn async_reaches_same_fixed_point() {
     let problem = all_hold(8, 7, 8);
-    let report = run_async(agents(8, 3, 7), &problem, &AsyncConfig::default());
+    let report = run_async(agents(8, 3, 7), &problem, &AsyncConfig::default()).expect("runs");
     assert!(report.outcome.metrics.termination.is_solved());
     let solution = report.outcome.solution.unwrap();
     for i in 0..8 {
@@ -173,7 +173,7 @@ fn async_jitter_does_not_change_the_fixed_point() {
             seed,
             ..AsyncConfig::default()
         };
-        let report = run_async(agents(5, 4, 3), &problem, &config);
+        let report = run_async(agents(5, 4, 3), &problem, &config).expect("runs");
         assert!(
             report.outcome.metrics.termination.is_solved(),
             "seed {seed}"
@@ -187,7 +187,7 @@ fn message_metering_matches_protocol() {
     // the growing wave re-broadcasts from agents 1..=5 (2+2+2+2+1 = 9).
     let problem = all_hold(6, 9, 10);
     let mut sim = SyncSimulator::new(agents(6, 0, 9));
-    let run = sim.run(&problem);
+    let run = sim.run(&problem).expect("runs");
     assert_eq!(run.outcome.metrics.ok_messages, 19);
     assert_eq!(run.outcome.metrics.nogood_messages, 0);
 }
@@ -196,7 +196,7 @@ fn message_metering_matches_protocol() {
 fn observer_uses_final_assignment_snapshot() {
     let problem = all_hold(3, 2, 3);
     let mut sim = SyncSimulator::new(agents(3, 1, 2));
-    let run = sim.run(&problem);
+    let run = sim.run(&problem).expect("runs");
     let solution = run.outcome.solution.unwrap();
     assert!(problem.is_solution(&solution));
     assert_eq!(solution.num_vars(), 3);

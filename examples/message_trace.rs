@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let agents = solver.build_agents(&problem, &init)?;
     let mut sim = SyncSimulator::new(agents);
     sim.record_trace(true);
-    let run = sim.run(&problem);
+    let run = sim.run(&problem)?;
 
     println!(
         "solved in {} cycles; full event trace:\n",

@@ -16,4 +16,7 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> discsp-lint (workspace invariants: determinism, metrics, panic safety)"
+cargo run --release --offline -q -p discsp-lint
+
 echo "verify: OK"
