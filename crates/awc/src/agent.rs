@@ -440,6 +440,14 @@ impl DistributedAgent for AwcAgent {
         }
     }
 
+    fn on_nudge(&mut self, out: &mut Outbox<AwcMessage>) {
+        // Re-announce the current value and priority. `ok?` ingestion is
+        // idempotent (the view is keyed by variable), so this repairs
+        // neighbor views staled by lost or reordered messages without
+        // perturbing a consistent state.
+        self.send_ok_to_all(out);
+    }
+
     fn assignments(&self) -> Vec<VarValue> {
         vec![VarValue::new(self.var, self.value)]
     }

@@ -4,7 +4,10 @@ use std::error::Error;
 use std::fmt;
 
 use discsp_core::{AgentId, Assignment, DistributedCsp, VariableId};
-use discsp_runtime::{run_async, AsyncConfig, AsyncReport, SyncRun, SyncSimulator};
+use discsp_runtime::{
+    run_async, run_virtual, AsyncConfig, AsyncReport, SyncRun, SyncSimulator, VirtualConfig,
+    VirtualReport,
+};
 
 use crate::agent::{AwcAgent, AwcConfig};
 
@@ -218,6 +221,23 @@ impl AwcSolver {
     ) -> Result<AsyncReport, AwcError> {
         let agents = self.build_agents(problem, init)?;
         run_async(agents, problem, config).map_err(AwcError::from)
+    }
+
+    /// Runs on the deterministic discrete-event runtime with link faults:
+    /// identical `(seed, LinkPolicy)` pairs replay bit-identically, so any
+    /// fault-induced failure is reproducible from the config alone.
+    ///
+    /// # Errors
+    ///
+    /// See [`AwcSolver::build_agents`].
+    pub fn solve_virtual(
+        &self,
+        problem: &DistributedCsp,
+        init: &Assignment,
+        config: &VirtualConfig,
+    ) -> Result<VirtualReport, AwcError> {
+        let agents = self.build_agents(problem, init)?;
+        run_virtual(agents, problem, config).map_err(AwcError::from)
     }
 }
 

@@ -69,6 +69,25 @@ pub struct RunMetrics {
     pub redundant_nogoods: u64,
     /// The largest nogood generated during the run (0 when none).
     pub largest_nogood: u64,
+    /// Messages handed to the link layer by agents (before any injected
+    /// fault). With perfect links this equals [`RunMetrics::total_messages`]
+    /// minus shutdown-dropped sends.
+    pub messages_sent: u64,
+    /// Messages dropped by an injected link fault (later retransmitted by
+    /// the link layer's recovery pass, so protocols keep their
+    /// eventual-delivery guarantee).
+    pub messages_dropped: u64,
+    /// Extra copies created by an injected duplication fault.
+    pub messages_duplicated: u64,
+    /// Messages whose assigned delivery tick overtakes an earlier message
+    /// on the same link (injected reordering).
+    pub messages_reordered: u64,
+    /// Dropped messages re-enqueued by the link layer's stall-triggered
+    /// recovery pass.
+    pub messages_retransmitted: u64,
+    /// Largest delivery delay assigned to any single message, in virtual
+    /// ticks (0 with perfect links).
+    pub max_delivery_delay: u64,
 }
 
 impl RunMetrics {
@@ -85,10 +104,21 @@ impl RunMetrics {
             nogoods_generated: 0,
             redundant_nogoods: 0,
             largest_nogood: 0,
+            messages_sent: 0,
+            messages_dropped: 0,
+            messages_duplicated: 0,
+            messages_reordered: 0,
+            messages_retransmitted: 0,
+            max_delivery_delay: 0,
         }
     }
 
-    /// Total messages of all kinds.
+    /// Total messages of all kinds. Classes are counted per successfully
+    /// enqueued copy, so this equals
+    /// `messages_sent - messages_dropped + messages_duplicated +
+    /// messages_retransmitted` exactly on the deterministic runtimes (and
+    /// is at most that on the threaded runtime, where sends racing
+    /// shutdown are discarded uncounted).
     pub fn total_messages(&self) -> u64 {
         self.ok_messages + self.nogood_messages + self.other_messages
     }

@@ -326,6 +326,30 @@ impl DistributedAgent for DbaAgent {
     fn stats(&self) -> AgentStats {
         self.stats
     }
+
+    fn on_nudge(&mut self, out: &mut Outbox<DbaMessage>) {
+        if self.neighbor_agents.is_empty() {
+            return;
+        }
+        // Resend the message of the wave this agent last completed — what
+        // a stalled neighbor must be waiting for. Wave buffers are keyed
+        // maps, so a peer that already has the message absorbs the copy
+        // idempotently.
+        match self.phase {
+            Phase::WaitOk => self.send_ok(out),
+            Phase::WaitImprove => {
+                for &peer in &self.neighbor_agents {
+                    out.send(
+                        peer,
+                        DbaMessage::Improve {
+                            improve: self.my_improve,
+                            eval: self.my_eval,
+                        },
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,10 @@ use std::error::Error;
 use std::fmt;
 
 use discsp_core::{AgentId, Assignment, DistributedCsp, VariableId};
-use discsp_runtime::{run_async, AsyncConfig, AsyncReport, SyncRun, SyncSimulator};
+use discsp_runtime::{
+    run_async, run_virtual, AsyncConfig, AsyncReport, SyncRun, SyncSimulator, VirtualConfig,
+    VirtualReport,
+};
 
 use crate::agent::{DbaAgent, WeightMode};
 
@@ -210,6 +213,25 @@ impl DbaSolver {
         let mut config = config.clone();
         config.stop_on_first_solution = true;
         run_async(agents, problem, &config).map_err(DbaError::from)
+    }
+
+    /// Runs on the deterministic discrete-event runtime with link faults.
+    /// As with [`DbaSolver::solve_async`], `stop_on_first_solution` is
+    /// forced on — the breakout's waves never quiesce.
+    ///
+    /// # Errors
+    ///
+    /// See [`DbaSolver::build_agents`].
+    pub fn solve_virtual(
+        &self,
+        problem: &DistributedCsp,
+        init: &Assignment,
+        config: &VirtualConfig,
+    ) -> Result<VirtualReport, DbaError> {
+        let agents = self.build_agents(problem, init)?;
+        let mut config = config.clone();
+        config.stop_on_first_solution = true;
+        run_virtual(agents, problem, &config).map_err(DbaError::from)
     }
 }
 

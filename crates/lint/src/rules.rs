@@ -88,6 +88,14 @@ impl Rule {
 ///
 /// Test directories never reach this function (the walker skips them);
 /// `#[cfg(test)]` modules inside scoped files are skipped token-wise.
+/// Files exempt from D2 *by name*: the link layer owns the virtual-tick
+/// clock (`u64` ticks drawn from seeded streams) that is the sanctioned
+/// replacement for wall time, so a wall-clock identifier there would be
+/// caught in review, not by the linter. A named exemption keeps the scope
+/// auditable — unlike blanket `allow` annotations, which rule A0 would
+/// also have to police line by line.
+pub const D2_EXEMPT_VIRTUAL_CLOCK: &[&str] = &["crates/runtime/src/link.rs"];
+
 pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     let p = rel_path.replace('\\', "/");
     let in_any = |prefixes: &[&str]| prefixes.iter().any(|pre| p.starts_with(pre));
@@ -110,7 +118,8 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/awc/src/",
         "crates/dba/src/",
         "crates/bench/src/",
-    ]) {
+    ]) && !D2_EXEMPT_VIRTUAL_CLOCK.contains(&p.as_str())
+    {
         rules.push(Rule::D2);
     }
     if in_any(&["crates/awc/src/", "crates/dba/src/"]) {
@@ -654,6 +663,17 @@ mod tests {
         assert_eq!(rules_for("crates/cspsolve/src/backtrack.rs"), vec![Rule::D1]);
         assert_eq!(rules_for("crates/probgen/src/lib.rs"), vec![Rule::D1]);
         assert_eq!(rules_for("crates/lint/src/main.rs"), Vec::<Rule>::new());
+    }
+
+    #[test]
+    fn link_layer_is_exempt_from_d2_by_name_only() {
+        // The virtual-tick clock lives in link.rs: D2 is lifted there —
+        // and only there — while determinism and panic-safety still apply.
+        assert_eq!(
+            rules_for("crates/runtime/src/link.rs"),
+            vec![Rule::D1, Rule::P1]
+        );
+        assert!(rules_for("crates/runtime/src/asynchronous.rs").contains(&Rule::D2));
     }
 
     #[test]

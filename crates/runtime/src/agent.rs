@@ -62,7 +62,11 @@ impl<M: Classify> Outbox<M> {
     }
 }
 
-/// Per-agent learning statistics reported to the runtimes.
+/// Per-agent learning and link-fault statistics reported to the runtimes.
+///
+/// The fault counters are filled in by the runtime that owns the agent's
+/// outgoing links (faults are injected sender-side), not by the agent
+/// itself; agent implementations leave them zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgentStats {
     /// Nogoods generated at deadends (before any deduplication).
@@ -72,6 +76,20 @@ pub struct AgentStats {
     pub redundant_nogoods: u64,
     /// Size of the largest nogood generated.
     pub largest_nogood: u64,
+    /// Messages this agent handed to the link layer.
+    pub messages_sent: u64,
+    /// Outgoing messages dropped by an injected fault.
+    pub messages_dropped: u64,
+    /// Extra outgoing copies created by an injected duplication fault.
+    pub messages_duplicated: u64,
+    /// Outgoing messages assigned a delivery tick that overtakes an
+    /// earlier message on the same link.
+    pub messages_reordered: u64,
+    /// Dropped outgoing messages re-enqueued by the recovery pass.
+    pub messages_retransmitted: u64,
+    /// Largest delivery delay assigned to one of this agent's messages,
+    /// in virtual ticks.
+    pub max_delivery_delay: u64,
 }
 
 impl AgentStats {
@@ -80,6 +98,12 @@ impl AgentStats {
         self.nogoods_generated += other.nogoods_generated;
         self.redundant_nogoods += other.redundant_nogoods;
         self.largest_nogood = self.largest_nogood.max(other.largest_nogood);
+        self.messages_sent += other.messages_sent;
+        self.messages_dropped += other.messages_dropped;
+        self.messages_duplicated += other.messages_duplicated;
+        self.messages_reordered += other.messages_reordered;
+        self.messages_retransmitted += other.messages_retransmitted;
+        self.max_delivery_delay = self.max_delivery_delay.max(other.max_delivery_delay);
     }
 }
 
@@ -119,6 +143,15 @@ pub trait DistributedAgent {
     /// problem insoluble.
     fn detected_insoluble(&self) -> bool {
         false
+    }
+
+    /// Called by a runtime when the system has gone quiet without a
+    /// solution while faults are being injected: the agent may re-announce
+    /// its current state (an idempotent refresh) to repair views staled by
+    /// lost or reordered traffic. The default does nothing — protocols
+    /// that already tolerate silence need no refresh.
+    fn on_nudge(&mut self, out: &mut Outbox<Self::Message>) {
+        let _ = out;
     }
 }
 
@@ -163,14 +196,26 @@ mod tests {
             nogoods_generated: 3,
             redundant_nogoods: 1,
             largest_nogood: 4,
+            messages_sent: 10,
+            messages_dropped: 2,
+            max_delivery_delay: 7,
+            ..AgentStats::default()
         });
         total.absorb(AgentStats {
             nogoods_generated: 2,
             redundant_nogoods: 0,
             largest_nogood: 2,
+            messages_sent: 5,
+            messages_duplicated: 1,
+            max_delivery_delay: 3,
+            ..AgentStats::default()
         });
         assert_eq!(total.nogoods_generated, 5);
         assert_eq!(total.redundant_nogoods, 1);
         assert_eq!(total.largest_nogood, 4);
+        assert_eq!(total.messages_sent, 15);
+        assert_eq!(total.messages_dropped, 2);
+        assert_eq!(total.messages_duplicated, 1);
+        assert_eq!(total.max_delivery_delay, 7, "delay absorbs by max");
     }
 }

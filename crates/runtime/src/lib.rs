@@ -8,6 +8,14 @@
 //! * [`run_async`] — one OS thread per agent with crossbeam channels,
 //!   demonstrating the algorithms on a *fully asynchronous* system, with
 //!   quiescence-based solution detection via in-flight message counting.
+//! * [`run_virtual`] — a single-threaded discrete-event executor over the
+//!   same agents and the same [`Link`] fault layer, fully deterministic:
+//!   a failing `(seed, LinkPolicy)` pair replays bit-identically.
+//!
+//! The [`link`](crate::Link) layer injects seeded drop, duplication,
+//! delay, and reordering faults into either runtime's traffic, with
+//! per-link [`SplitMix64`] streams derived from the run seed
+//! ([`derive_link_seed`]).
 //!
 //! Plus deterministic seed derivation ([`SplitMix64`], [`derive_seed`])
 //! shared by the experiment harnesses.
@@ -18,6 +26,7 @@
 mod agent;
 mod asynchronous;
 mod error;
+mod link;
 mod message;
 mod seed;
 mod sync;
@@ -26,7 +35,11 @@ mod trace;
 pub use agent::{AgentStats, DistributedAgent, Outbox};
 pub use asynchronous::{run_async, AsyncConfig, AsyncReport};
 pub use error::RuntimeError;
+pub use link::{
+    derive_link_seed, run_virtual, Link, LinkPolicy, LinkStats, RouteDecision, VirtualConfig,
+    VirtualReport, PPM,
+};
 pub use message::{Classify, Envelope, MessageClass};
 pub use seed::{derive_seed, SplitMix64};
 pub use sync::{CycleRecord, SyncRun, SyncSimulator};
-pub use trace::{render_trace, TraceEvent};
+pub use trace::{render_trace, FaultKind, TraceEvent};

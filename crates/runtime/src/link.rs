@@ -1,0 +1,1024 @@
+//! The deterministic fault-injecting link layer.
+//!
+//! The paper's §5 claim — the algorithms "are designed for a fully
+//! asynchronous distributed system, and thereby can work on any type of
+//! distributed systems" — is only demonstrated by running them over links
+//! that misbehave. This module models one directed link per ordered agent
+//! pair with a [`LinkPolicy`]: fixed or uniform delivery delay in
+//! *virtual ticks*, drop probability, duplication probability, and a
+//! reordering window. Every fault decision is drawn from a per-link
+//! [`SplitMix64`] stream derived from the run seed alone
+//! ([`derive_link_seed`]), so any observed failure is replayable from
+//! `(seed, policy)` — no wall clock, no OS entropy.
+//!
+//! Time here is a `u64` **virtual tick**, never `std::time::Instant`: the
+//! synchronous-style executor ([`run_virtual`]) advances ticks as the
+//! event queue drains, and the threaded runtime advances a shared atomic
+//! tick from its observer loop. That is why this file is exempted from
+//! `discsp-lint` rule D2 *by name* in `crates/lint/src/rules.rs` — the
+//! tick arithmetic below is the sanctioned replacement for wall time.
+//!
+//! Dropped messages are not lost forever: real DisCSP correctness proofs
+//! assume eventual delivery (finite but arbitrary delay), so the link
+//! layer parks drops in a per-link recovery buffer and retransmits them
+//! when the runtime detects a stall — the transport keeps the protocol's
+//! liveness guarantee the way TCP does over a lossy wire, while every
+//! fault stays observable in the counters.
+
+use std::collections::BTreeMap;
+
+use discsp_core::{
+    AgentId, Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::agent::{AgentStats, DistributedAgent, Outbox};
+use crate::error::RuntimeError;
+use crate::message::{Classify, Envelope, MessageClass};
+use crate::seed::SplitMix64;
+use crate::trace::{FaultKind, TraceEvent};
+
+/// Probabilities are expressed in parts per million so the whole policy
+/// is integer-exact, `Eq`, and hashable-free of float edge cases.
+pub const PPM: u32 = 1_000_000;
+
+/// Per-link fault policy. The default is a perfect link: instant,
+/// lossless, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkPolicy {
+    /// Minimum delivery delay, in virtual ticks.
+    pub delay_min: u64,
+    /// Maximum delivery delay, in virtual ticks (uniform in
+    /// `delay_min..=delay_max`; equal bounds give a fixed delay).
+    pub delay_max: u64,
+    /// Drop probability in parts per million ([`PPM`] = always drop).
+    pub drop_ppm: u32,
+    /// Duplication probability in parts per million (one extra copy).
+    pub dup_ppm: u32,
+    /// Reordering window: each message gets an extra uniform delay in
+    /// `0..=reorder_window` ticks, letting later messages overtake
+    /// earlier ones on the same link.
+    pub reorder_window: u64,
+}
+
+impl Default for LinkPolicy {
+    fn default() -> Self {
+        LinkPolicy::perfect()
+    }
+}
+
+impl LinkPolicy {
+    /// An instant, lossless, ordered link (the pre-fault-layer behavior).
+    pub const fn perfect() -> Self {
+        LinkPolicy {
+            delay_min: 0,
+            delay_max: 0,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            reorder_window: 0,
+        }
+    }
+
+    /// A link that drops each message with probability `drop_ppm`/10⁶.
+    pub const fn lossy(drop_ppm: u32) -> Self {
+        LinkPolicy {
+            drop_ppm,
+            ..LinkPolicy::perfect()
+        }
+    }
+
+    /// A link delivering after a uniform `min..=max`-tick delay.
+    pub const fn delayed(min: u64, max: u64) -> Self {
+        LinkPolicy {
+            delay_min: min,
+            delay_max: max,
+            ..LinkPolicy::perfect()
+        }
+    }
+
+    /// A link that reorders within a `window`-tick window.
+    pub const fn reordering(window: u64) -> Self {
+        LinkPolicy {
+            reorder_window: window,
+            ..LinkPolicy::perfect()
+        }
+    }
+
+    /// Sets the drop probability (parts per million).
+    pub const fn with_drop(mut self, drop_ppm: u32) -> Self {
+        self.drop_ppm = drop_ppm;
+        self
+    }
+
+    /// Sets the duplication probability (parts per million).
+    pub const fn with_duplication(mut self, dup_ppm: u32) -> Self {
+        self.dup_ppm = dup_ppm;
+        self
+    }
+
+    /// Sets the delay bounds (virtual ticks).
+    pub const fn with_delay(mut self, min: u64, max: u64) -> Self {
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Sets the reordering window (virtual ticks).
+    pub const fn with_reordering(mut self, window: u64) -> Self {
+        self.reorder_window = window;
+        self
+    }
+
+    /// Whether this policy can never inject a fault (fast path: the
+    /// runtimes skip the per-message lottery entirely).
+    pub const fn is_perfect(&self) -> bool {
+        self.delay_min == 0
+            && self.delay_max == 0
+            && self.drop_ppm == 0
+            && self.dup_ppm == 0
+            && self.reorder_window == 0
+    }
+}
+
+/// Monotone per-link fault counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages handed to this link.
+    pub sent: u64,
+    /// Messages dropped by the fault lottery.
+    pub dropped: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+    /// Copies assigned a due tick that overtakes an earlier message.
+    pub reordered: u64,
+    /// Previously dropped messages re-enqueued by the recovery pass.
+    pub retransmitted: u64,
+    /// Largest single assigned delivery delay, in ticks.
+    pub max_delay: u64,
+}
+
+impl LinkStats {
+    /// Accumulates `other` into `self` (sums; max for `max_delay`).
+    pub fn absorb(&mut self, other: LinkStats) {
+        self.sent += other.sent;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.retransmitted += other.retransmitted;
+        self.max_delay = self.max_delay.max(other.max_delay);
+    }
+
+    /// Folds these link counters into an [`AgentStats`] record (the
+    /// sender-side attribution surfaced through [`RunMetrics`]).
+    pub fn fold_into(&self, stats: &mut AgentStats) {
+        stats.messages_sent += self.sent;
+        stats.messages_dropped += self.dropped;
+        stats.messages_duplicated += self.duplicated;
+        stats.messages_reordered += self.reordered;
+        stats.messages_retransmitted += self.retransmitted;
+        stats.max_delivery_delay = stats.max_delivery_delay.max(self.max_delay);
+    }
+}
+
+/// The fate of one message offered to a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Due tick of each copy to enqueue. Empty means the message was
+    /// dropped (and should be parked for retransmission).
+    pub deliveries: Vec<u64>,
+    /// Faults injected into this message, for trace recording.
+    pub faults: Vec<FaultKind>,
+}
+
+/// One directed link with its policy, its private random stream, and its
+/// fault counters.
+#[derive(Debug, Clone)]
+pub struct Link {
+    policy: LinkPolicy,
+    rng: SplitMix64,
+    /// Largest due tick assigned so far (reordering detection).
+    max_due: u64,
+    /// Counters, monotone over the link's lifetime.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link following `policy`, drawing from `seed`.
+    pub fn new(policy: LinkPolicy, seed: u64) -> Self {
+        Link {
+            policy,
+            rng: SplitMix64::new(seed),
+            max_due: 0,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The policy this link follows.
+    pub fn policy(&self) -> &LinkPolicy {
+        &self.policy
+    }
+
+    fn base_delay(&mut self) -> u64 {
+        let LinkPolicy {
+            delay_min,
+            delay_max,
+            reorder_window,
+            ..
+        } = self.policy;
+        let mut delay = delay_min;
+        if delay_max > delay_min {
+            delay += self.rng.next_below(delay_max - delay_min + 1);
+        }
+        if reorder_window > 0 {
+            delay += self.rng.next_below(reorder_window + 1);
+        }
+        delay
+    }
+
+    /// Registers one copy due at `now + 1 + delay` (every hop costs one
+    /// base tick, as in the synchronous simulator's "sent in cycle *k*,
+    /// readable in *k + 1*"), updating the reorder bookkeeping, and
+    /// returns the due tick.
+    fn assign(&mut self, now: u64, delay: u64, faults: &mut Vec<FaultKind>) -> u64 {
+        let due = now + 1 + delay;
+        self.stats.max_delay = self.stats.max_delay.max(delay);
+        if delay > 0 {
+            faults.push(FaultKind::Delayed(delay));
+        }
+        if due < self.max_due {
+            self.stats.reordered += 1;
+            faults.push(FaultKind::Reordered);
+        }
+        self.max_due = self.max_due.max(due);
+        due
+    }
+
+    /// Decides the fate of the next message offered to this link at
+    /// virtual time `now`. Deterministic: the k-th call on a link built
+    /// from a given `(policy, seed)` always returns the same decision.
+    pub fn route(&mut self, now: u64) -> RouteDecision {
+        self.stats.sent += 1;
+        if self.policy.is_perfect() {
+            // No lottery draws: the stream stays untouched, so enabling a
+            // fault on *another* link never perturbs this one.
+            self.max_due = self.max_due.max(now + 1);
+            return RouteDecision {
+                deliveries: vec![now + 1],
+                faults: Vec::new(),
+            };
+        }
+        let mut faults = Vec::new();
+        if self.policy.drop_ppm > 0
+            && self.rng.next_below(u64::from(PPM)) < u64::from(self.policy.drop_ppm)
+        {
+            self.stats.dropped += 1;
+            faults.push(FaultKind::Dropped);
+            return RouteDecision {
+                deliveries: Vec::new(),
+                faults,
+            };
+        }
+        let mut copies = 1usize;
+        if self.policy.dup_ppm > 0
+            && self.rng.next_below(u64::from(PPM)) < u64::from(self.policy.dup_ppm)
+        {
+            copies += 1;
+            self.stats.duplicated += 1;
+            faults.push(FaultKind::Duplicated);
+        }
+        let mut deliveries = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let delay = self.base_delay();
+            deliveries.push(self.assign(now, delay, &mut faults));
+        }
+        RouteDecision { deliveries, faults }
+    }
+
+    /// Assigns a due tick to a retransmitted (previously dropped)
+    /// message. Retransmission bypasses the drop and duplication lottery
+    /// — the recovery pass exists to guarantee eventual delivery — but
+    /// still pays the link's delay.
+    pub fn redeliver(&mut self, now: u64) -> u64 {
+        self.stats.retransmitted += 1;
+        let delay = if self.policy.is_perfect() {
+            0
+        } else {
+            self.base_delay()
+        };
+        let mut faults = Vec::new();
+        self.assign(now, delay, &mut faults)
+    }
+}
+
+/// Derives the seed of the directed link `from → to` for a run seeded
+/// with `run_seed`. Distinct links get unrelated streams; the same
+/// `(run_seed, from, to)` always yields the same stream.
+pub fn derive_link_seed(run_seed: u64, from: AgentId, to: AgentId) -> u64 {
+    let mut a = SplitMix64::new(
+        run_seed ^ u64::from(from.raw()).wrapping_mul(0xD192_ED03_3709_27AD),
+    );
+    let mixed = a.next_u64();
+    let mut b = SplitMix64::new(mixed ^ u64::from(to.raw()).wrapping_mul(0x8864_A2F4_0E72_7F91));
+    b.next_u64()
+}
+
+/// Configuration of a deterministic faulty-link run.
+#[derive(Debug, Clone)]
+pub struct VirtualConfig {
+    /// Seed deriving every per-link fault stream.
+    pub seed: u64,
+    /// Fault policy applied to every link.
+    pub link: LinkPolicy,
+    /// Tick budget; the run reports a cutoff beyond it.
+    pub max_ticks: u64,
+    /// How many stall-triggered recovery passes (retransmission flushes
+    /// and agent refreshes) to run before giving up.
+    pub max_nudges: u64,
+    /// Stop at the first globally consistent snapshot instead of
+    /// requiring the event queue to drain (required for protocols that
+    /// never go quiet, such as distributed breakout).
+    pub stop_on_first_solution: bool,
+    /// Record delivery and fault events into the report's trace.
+    pub record_trace: bool,
+}
+
+impl Default for VirtualConfig {
+    fn default() -> Self {
+        VirtualConfig {
+            seed: 0,
+            link: LinkPolicy::perfect(),
+            max_ticks: 1_000_000,
+            max_nudges: 64,
+            stop_on_first_solution: false,
+            record_trace: false,
+        }
+    }
+}
+
+/// Result of a [`run_virtual`] execution.
+#[derive(Debug, Clone)]
+pub struct VirtualReport {
+    /// Metrics and solution. `cycles` reports the final virtual tick;
+    /// the fault counters are exact and replayable.
+    pub outcome: TrialOutcome,
+    /// Final virtual tick.
+    pub ticks: u64,
+    /// Agent activations (batches processed, including starts).
+    pub activations: u64,
+    /// Stall-triggered recovery passes consumed.
+    pub nudges: u64,
+    /// Event log; empty unless `record_trace` was set.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Routing/enqueue state shared by the virtual executor's phases.
+struct VirtualNet<M> {
+    /// Event queue keyed by `(due_tick, enqueue_seq)` — a total,
+    /// deterministic delivery order.
+    queue: BTreeMap<(u64, u64), Envelope<M>>,
+    links: Vec<Link>,
+    /// Dropped messages parked per sending agent, in drop order.
+    parked: Vec<Vec<Envelope<M>>>,
+    n: usize,
+    seq: u64,
+    ok_messages: u64,
+    nogood_messages: u64,
+    other_messages: u64,
+    record_trace: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl<M: Classify + Clone> VirtualNet<M> {
+    fn link_index(&self, from: AgentId, to: AgentId) -> usize {
+        from.index() * self.n + to.index()
+    }
+
+    fn enqueue(&mut self, due: u64, env: Envelope<M>) {
+        match env.payload.class() {
+            MessageClass::Ok => self.ok_messages += 1,
+            MessageClass::Nogood => self.nogood_messages += 1,
+            MessageClass::Other => self.other_messages += 1,
+        }
+        self.queue.insert((due, self.seq), env);
+        self.seq += 1;
+    }
+
+    /// Routes one freshly sent envelope through its link at time `now`.
+    fn route(&mut self, now: u64, env: Envelope<M>) -> Result<(), RuntimeError> {
+        if env.to.index() >= self.n {
+            return Err(RuntimeError::UnknownRecipient { agent: env.to });
+        }
+        let index = self.link_index(env.from, env.to);
+        let decision = match self.links.get_mut(index) {
+            Some(link) => link.route(now),
+            None => return Err(RuntimeError::UnknownRecipient { agent: env.to }),
+        };
+        if self.record_trace {
+            for &kind in &decision.faults {
+                self.trace.push(TraceEvent::Fault {
+                    cycle: now,
+                    from: env.from,
+                    to: env.to,
+                    class: env.payload.class(),
+                    kind,
+                });
+            }
+        }
+        if decision.deliveries.is_empty() {
+            if let Some(bucket) = self.parked.get_mut(env.from.index()) {
+                bucket.push(env);
+            }
+            return Ok(());
+        }
+        let mut copies = decision.deliveries.into_iter().peekable();
+        while let Some(due) = copies.next() {
+            if copies.peek().is_some() {
+                self.enqueue(due, env.clone());
+            } else {
+                self.enqueue(due, env);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-enqueues every parked (dropped) message. Returns how many were
+    /// flushed.
+    fn flush_parked(&mut self, now: u64) -> usize {
+        let mut flushed = 0;
+        for from in 0..self.n {
+            let bucket = match self.parked.get_mut(from) {
+                Some(b) => std::mem::take(b),
+                None => Vec::new(),
+            };
+            for env in bucket {
+                let index = self.link_index(env.from, env.to);
+                let due = match self.links.get_mut(index) {
+                    Some(link) => link.redeliver(now),
+                    None => now,
+                };
+                if self.record_trace {
+                    self.trace.push(TraceEvent::Fault {
+                        cycle: now,
+                        from: env.from,
+                        to: env.to,
+                        class: env.payload.class(),
+                        kind: FaultKind::Retransmitted,
+                    });
+                }
+                self.enqueue(due, env);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+}
+
+/// Runs `agents` on the deterministic faulty-link runtime: a virtual-time
+/// event executor where every delivery, fault, and activation order is a
+/// pure function of `(agents, problem, config)`. Two runs with the same
+/// inputs produce bit-identical metrics, fault counters, and traces —
+/// the replay harness for any failure observed under injected faults.
+///
+/// Quiescence detection is exact by construction: the event queue *is*
+/// the in-flight set. When it drains, the snapshot is checked; if the
+/// system stalled short of a solution while faults are enabled, a
+/// recovery pass retransmits parked drops and asks agents to re-announce
+/// ([`DistributedAgent::on_nudge`]), up to `config.max_nudges` times.
+///
+/// # Errors
+///
+/// [`RuntimeError::NonDenseAgentIds`] unless agent *i* reports id *i*;
+/// [`RuntimeError::UnknownRecipient`] when a message addresses an agent
+/// outside the population.
+pub fn run_virtual<A>(
+    mut agents: Vec<A>,
+    problem: &DistributedCsp,
+    config: &VirtualConfig,
+) -> Result<VirtualReport, RuntimeError>
+where
+    A: DistributedAgent,
+{
+    for (position, agent) in agents.iter().enumerate() {
+        if agent.id().index() != position {
+            return Err(RuntimeError::NonDenseAgentIds {
+                position,
+                found: agent.id(),
+            });
+        }
+    }
+    let n = agents.len();
+    let mut net = VirtualNet {
+        queue: BTreeMap::new(),
+        links: (0..n * n)
+            .map(|index| {
+                let from = AgentId::new((index / n) as u32);
+                let to = AgentId::new((index % n) as u32);
+                Link::new(config.link, derive_link_seed(config.seed, from, to))
+            })
+            .collect(),
+        parked: (0..n).map(|_| Vec::new()).collect(),
+        n,
+        seq: 0,
+        ok_messages: 0,
+        nogood_messages: 0,
+        other_messages: 0,
+        record_trace: config.record_trace,
+        trace: Vec::new(),
+    };
+
+    let mut metrics = RunMetrics::new(Termination::CutOff);
+    let mut snapshot = Assignment::empty(problem.num_vars());
+    let mut activations: u64 = 0;
+    let mut nudges: u64 = 0;
+    let mut tick: u64 = 0;
+    let termination;
+
+    // Tick 0: every agent announces its initial state.
+    for agent in agents.iter_mut() {
+        let mut out = Outbox::new(agent.id());
+        agent.on_start(&mut out);
+        activations += 1;
+        for env in out.drain() {
+            net.route(0, env)?;
+        }
+    }
+    let mut insoluble = agents.iter().any(|a| a.detected_insoluble());
+    for agent in agents.iter() {
+        for vv in agent.assignments() {
+            snapshot.set(vv.var, vv.value);
+        }
+    }
+
+    loop {
+        if insoluble {
+            termination = Termination::Insoluble;
+            break;
+        }
+        if config.stop_on_first_solution && problem.is_solution(&snapshot) {
+            termination = Termination::Solved;
+            break;
+        }
+        let Some((&(due, _), _)) = net.queue.iter().next() else {
+            // Quiescent: the queue is the in-flight set, so this snapshot
+            // is stable unless the recovery pass injects new traffic.
+            if problem.is_solution(&snapshot) {
+                termination = Termination::Solved;
+                break;
+            }
+            if config.link.is_perfect() || nudges >= config.max_nudges {
+                termination = Termination::CutOff;
+                break;
+            }
+            nudges += 1;
+            tick += 1;
+            net.flush_parked(tick);
+            for agent in agents.iter_mut() {
+                let mut out = Outbox::new(agent.id());
+                agent.on_nudge(&mut out);
+                for env in out.drain() {
+                    net.route(tick, env)?;
+                }
+            }
+            if net.queue.is_empty() {
+                // Nothing to retransmit and nobody re-announced: the
+                // stall is permanent.
+                termination = Termination::CutOff;
+                break;
+            }
+            continue;
+        };
+        if due > config.max_ticks {
+            termination = Termination::CutOff;
+            break;
+        }
+        tick = tick.max(due);
+
+        // Deliver every message due this tick, batched per recipient in
+        // ascending (recipient, enqueue_seq) order.
+        let mut inboxes: BTreeMap<usize, Vec<Envelope<A::Message>>> = BTreeMap::new();
+        let due_keys: Vec<(u64, u64)> = net
+            .queue
+            .range((due, 0)..=(due, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in due_keys {
+            if let Some(env) = net.queue.remove(&key) {
+                if net.record_trace {
+                    net.trace.push(TraceEvent::Delivered {
+                        cycle: tick,
+                        from: env.from,
+                        to: env.to,
+                        class: env.payload.class(),
+                    });
+                }
+                inboxes.entry(env.to.index()).or_default().push(env);
+            }
+        }
+        for (recipient, inbox) in inboxes {
+            let Some(agent) = agents.get_mut(recipient) else {
+                continue;
+            };
+            let mut out = Outbox::new(agent.id());
+            agent.on_batch(inbox, &mut out);
+            activations += 1;
+            metrics.total_checks += agent.take_checks();
+            for vv in agent.assignments() {
+                snapshot.set(vv.var, vv.value);
+            }
+            insoluble |= agent.detected_insoluble();
+            for env in out.drain() {
+                net.route(tick, env)?;
+            }
+        }
+    }
+
+    metrics.termination = termination;
+    metrics.cycles = tick;
+    metrics.ok_messages = net.ok_messages;
+    metrics.nogood_messages = net.nogood_messages;
+    metrics.other_messages = net.other_messages;
+    let mut stats = AgentStats::default();
+    for agent in agents.iter_mut() {
+        metrics.total_checks += agent.take_checks();
+        stats.absorb(agent.stats());
+    }
+    let mut link_totals = LinkStats::default();
+    for link in &net.links {
+        link_totals.absorb(link.stats);
+    }
+    link_totals.fold_into(&mut stats);
+    metrics.nogoods_generated = stats.nogoods_generated;
+    metrics.redundant_nogoods = stats.redundant_nogoods;
+    metrics.largest_nogood = stats.largest_nogood;
+    metrics.messages_sent = stats.messages_sent;
+    metrics.messages_dropped = stats.messages_dropped;
+    metrics.messages_duplicated = stats.messages_duplicated;
+    metrics.messages_reordered = stats.messages_reordered;
+    metrics.messages_retransmitted = stats.messages_retransmitted;
+    metrics.max_delivery_delay = stats.max_delivery_delay;
+
+    let solution = if termination == Termination::Solved {
+        Some(snapshot)
+    } else {
+        None
+    };
+    Ok(VirtualReport {
+        outcome: TrialOutcome { metrics, solution },
+        ticks: tick,
+        activations,
+        nudges,
+        trace: net.trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_core::{Domain, Nogood, Value, VarValue, VariableId};
+
+    #[test]
+    fn perfect_policy_routes_instantly_without_draws() {
+        let mut link = Link::new(LinkPolicy::perfect(), 7);
+        for now in [0u64, 3, 9] {
+            let d = link.route(now);
+            assert_eq!(d.deliveries, vec![now + 1], "one base tick per hop");
+            assert!(d.faults.is_empty());
+        }
+        assert_eq!(link.stats.sent, 3);
+        assert_eq!(link.stats.dropped, 0);
+        assert_eq!(link.stats.max_delay, 0);
+    }
+
+    #[test]
+    fn link_streams_are_replayable() {
+        let policy = LinkPolicy::lossy(300_000)
+            .with_duplication(100_000)
+            .with_delay(1, 5)
+            .with_reordering(3);
+        let seed = derive_link_seed(42, AgentId::new(3), AgentId::new(8));
+        let mut a = Link::new(policy, seed);
+        let mut b = Link::new(policy, seed);
+        for now in 0..200u64 {
+            assert_eq!(a.route(now), b.route(now));
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn distinct_links_get_distinct_streams() {
+        let s1 = derive_link_seed(1, AgentId::new(0), AgentId::new(1));
+        let s2 = derive_link_seed(1, AgentId::new(1), AgentId::new(0));
+        let s3 = derive_link_seed(2, AgentId::new(0), AgentId::new(1));
+        assert_ne!(s1, s2, "direction matters");
+        assert_ne!(s1, s3, "run seed matters");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let mut link = Link::new(LinkPolicy::lossy(PPM / 10), 99);
+        for _ in 0..10_000 {
+            link.route(0);
+        }
+        let dropped = link.stats.dropped;
+        assert!(
+            (700..=1300).contains(&dropped),
+            "10% of 10k ≈ 1000, got {dropped}"
+        );
+    }
+
+    #[test]
+    fn total_drop_parks_everything() {
+        let mut link = Link::new(LinkPolicy::lossy(PPM), 5);
+        for _ in 0..50 {
+            assert!(link.route(0).deliveries.is_empty());
+        }
+        assert_eq!(link.stats.dropped, 50);
+    }
+
+    #[test]
+    fn reordering_counts_overtakes() {
+        let mut link = Link::new(LinkPolicy::reordering(8), 11);
+        for now in 0..500u64 {
+            link.route(now / 4);
+        }
+        assert!(link.stats.reordered > 0, "an 8-tick window must overtake");
+        assert!(link.stats.max_delay <= 8);
+    }
+
+    #[test]
+    fn duplication_emits_two_copies() {
+        let mut link = Link::new(LinkPolicy::perfect().with_duplication(PPM), 1);
+        let d = link.route(4);
+        assert_eq!(d.deliveries.len(), 2);
+        assert_eq!(link.stats.duplicated, 1);
+        assert!(d.faults.contains(&FaultKind::Duplicated));
+    }
+
+    #[test]
+    fn redelivery_counts_and_pays_delay() {
+        let mut link = Link::new(LinkPolicy::delayed(2, 2), 1);
+        let due = link.redeliver(10);
+        assert_eq!(due, 13, "base hop tick plus the fixed 2-tick delay");
+        assert_eq!(link.stats.retransmitted, 1);
+    }
+
+    // -- run_virtual ------------------------------------------------------
+
+    /// Max-gossip agents on a ring (same protocol as the async runtime's
+    /// unit tests): everyone must end up holding `true`.
+    #[derive(Debug, Clone)]
+    struct Gossip(Value);
+
+    impl Classify for Gossip {
+        fn class(&self) -> MessageClass {
+            MessageClass::Ok
+        }
+    }
+
+    struct RingAgent {
+        id: AgentId,
+        n: usize,
+        value: Value,
+    }
+
+    impl RingAgent {
+        fn next(&self) -> AgentId {
+            AgentId::new(((self.id.index() + 1) % self.n) as u32)
+        }
+    }
+
+    impl DistributedAgent for RingAgent {
+        type Message = Gossip;
+
+        fn id(&self) -> AgentId {
+            self.id
+        }
+
+        fn on_start(&mut self, out: &mut Outbox<Gossip>) {
+            out.send(self.next(), Gossip(self.value));
+        }
+
+        fn on_batch(&mut self, inbox: Vec<Envelope<Gossip>>, out: &mut Outbox<Gossip>) {
+            let mut changed = false;
+            for env in inbox {
+                if env.payload.0 > self.value {
+                    self.value = env.payload.0;
+                    changed = true;
+                }
+            }
+            if changed {
+                out.send(self.next(), Gossip(self.value));
+            }
+        }
+
+        fn on_nudge(&mut self, out: &mut Outbox<Gossip>) {
+            out.send(self.next(), Gossip(self.value));
+        }
+
+        fn assignments(&self) -> Vec<VarValue> {
+            vec![VarValue::new(VariableId::new(self.id.raw()), self.value)]
+        }
+
+        fn take_checks(&mut self) -> u64 {
+            0
+        }
+
+        fn stats(&self) -> AgentStats {
+            AgentStats::default()
+        }
+    }
+
+    fn all_true_problem(n: usize) -> DistributedCsp {
+        let mut b = DistributedCsp::builder();
+        let vars: Vec<_> = (0..n).map(|_| b.variable(Domain::BOOL)).collect();
+        for &v in &vars {
+            b.nogood(Nogood::of([(v, Value::FALSE)])).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn ring(n: usize) -> Vec<RingAgent> {
+        (0..n)
+            .map(|i| RingAgent {
+                id: AgentId::new(i as u32),
+                n,
+                value: Value::from_bool(i == 0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn virtual_run_solves_with_perfect_links() {
+        let problem = all_true_problem(5);
+        let report = run_virtual(ring(5), &problem, &VirtualConfig::default()).expect("runs");
+        assert_eq!(report.outcome.metrics.termination, Termination::Solved);
+        // Same protocol count as the threaded runtime: 5 starts + 4 hops.
+        assert_eq!(report.outcome.metrics.ok_messages, 9);
+        assert_eq!(report.outcome.metrics.messages_sent, 9);
+        assert_eq!(report.outcome.metrics.messages_dropped, 0);
+        assert_eq!(report.nudges, 0);
+    }
+
+    #[test]
+    fn virtual_run_is_bit_identical_under_faults() {
+        let problem = all_true_problem(6);
+        let config = VirtualConfig {
+            seed: 13,
+            link: LinkPolicy::lossy(200_000).with_delay(0, 4).with_reordering(2),
+            ..VirtualConfig::default()
+        };
+        let a = run_virtual(ring(6), &problem, &config).expect("runs");
+        let b = run_virtual(ring(6), &problem, &config).expect("runs");
+        assert_eq!(a.outcome.metrics, b.outcome.metrics);
+        assert_eq!(a.outcome.solution, b.outcome.solution);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.activations, b.activations);
+        assert_eq!(a.nudges, b.nudges);
+    }
+
+    #[test]
+    fn virtual_run_survives_total_first_drop() {
+        // Every link drops everything; recovery retransmits, and the
+        // second lottery is bypassed, so gossip still completes.
+        let problem = all_true_problem(4);
+        let config = VirtualConfig {
+            seed: 3,
+            link: LinkPolicy::lossy(PPM),
+            ..VirtualConfig::default()
+        };
+        let report = run_virtual(ring(4), &problem, &config).expect("runs");
+        assert_eq!(report.outcome.metrics.termination, Termination::Solved);
+        assert!(report.nudges > 0, "recovery must have fired");
+        let m = &report.outcome.metrics;
+        assert_eq!(m.messages_dropped, m.messages_sent, "every send dropped");
+        assert_eq!(
+            m.total_messages(),
+            m.messages_sent - m.messages_dropped
+                + m.messages_duplicated
+                + m.messages_retransmitted,
+            "class counters count exactly the enqueued copies"
+        );
+    }
+
+    #[test]
+    fn virtual_run_class_counters_match_enqueues_under_faults() {
+        let problem = all_true_problem(6);
+        for seed in 0..10u64 {
+            let config = VirtualConfig {
+                seed,
+                link: LinkPolicy::lossy(150_000)
+                    .with_duplication(100_000)
+                    .with_delay(0, 3)
+                    .with_reordering(2),
+                ..VirtualConfig::default()
+            };
+            let report = run_virtual(ring(6), &problem, &config).expect("runs");
+            let m = &report.outcome.metrics;
+            assert_eq!(m.termination, Termination::Solved, "seed {seed}");
+            assert_eq!(
+                m.total_messages(),
+                m.messages_sent - m.messages_dropped
+                    + m.messages_duplicated
+                    + m.messages_retransmitted,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_run_records_fault_trace() {
+        let problem = all_true_problem(4);
+        let config = VirtualConfig {
+            seed: 1,
+            link: LinkPolicy::lossy(500_000).with_delay(1, 3),
+            record_trace: true,
+            ..VirtualConfig::default()
+        };
+        let report = run_virtual(ring(4), &problem, &config).expect("runs");
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Fault { .. })));
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Delivered { .. })));
+        let dropped = report
+            .trace
+            .iter()
+            .filter(|e| matches!(
+                e,
+                TraceEvent::Fault {
+                    kind: FaultKind::Dropped,
+                    ..
+                }
+            ))
+            .count() as u64;
+        assert_eq!(dropped, report.outcome.metrics.messages_dropped);
+    }
+
+    #[test]
+    fn virtual_run_rejects_unknown_recipient() {
+        struct Misrouter;
+        impl DistributedAgent for Misrouter {
+            type Message = Gossip;
+            fn id(&self) -> AgentId {
+                AgentId::new(0)
+            }
+            fn on_start(&mut self, out: &mut Outbox<Gossip>) {
+                out.send(AgentId::new(99), Gossip(Value::TRUE));
+            }
+            fn on_batch(&mut self, _: Vec<Envelope<Gossip>>, _: &mut Outbox<Gossip>) {}
+            fn assignments(&self) -> Vec<VarValue> {
+                Vec::new()
+            }
+            fn take_checks(&mut self) -> u64 {
+                0
+            }
+            fn stats(&self) -> AgentStats {
+                AgentStats::default()
+            }
+        }
+        let problem = all_true_problem(1);
+        let err = run_virtual(vec![Misrouter], &problem, &VirtualConfig::default());
+        assert_eq!(
+            err.unwrap_err(),
+            RuntimeError::UnknownRecipient {
+                agent: AgentId::new(99)
+            }
+        );
+    }
+
+    #[test]
+    fn virtual_run_cuts_off_unsolvable_quiescence() {
+        // All-false gossip quiesces immediately at a non-solution; with
+        // perfect links there is nothing to recover, so the run reports a
+        // cutoff without consuming the tick budget.
+        let problem = all_true_problem(3);
+        let mut agents = ring(3);
+        for a in agents.iter_mut() {
+            a.value = Value::FALSE;
+        }
+        let report = run_virtual(agents, &problem, &VirtualConfig::default()).expect("runs");
+        assert_eq!(report.outcome.metrics.termination, Termination::CutOff);
+        assert!(report.outcome.solution.is_none());
+        assert_eq!(report.nudges, 0);
+    }
+
+    #[test]
+    fn policy_constructors_compose() {
+        let p = LinkPolicy::perfect()
+            .with_drop(10)
+            .with_duplication(20)
+            .with_delay(1, 2)
+            .with_reordering(3);
+        assert!(!p.is_perfect());
+        assert_eq!(p.drop_ppm, 10);
+        assert_eq!(p.dup_ppm, 20);
+        assert_eq!((p.delay_min, p.delay_max), (1, 2));
+        assert_eq!(p.reorder_window, 3);
+        assert!(LinkPolicy::default().is_perfect());
+    }
+}

@@ -283,6 +283,9 @@ impl<A: DistributedAgent> SyncSimulator<A> {
         metrics.nogoods_generated = stats.nogoods_generated;
         metrics.redundant_nogoods = stats.redundant_nogoods;
         metrics.largest_nogood = stats.largest_nogood;
+        // The simulator's links are perfect: every emitted message is
+        // delivered, so sent equals the class totals exactly.
+        metrics.messages_sent = metrics.total_messages();
 
         Ok(SyncRun {
             outcome: TrialOutcome { metrics, solution },

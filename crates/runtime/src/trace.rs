@@ -12,6 +12,34 @@ use serde::{Deserialize, Serialize};
 
 use crate::message::MessageClass;
 
+/// What an injected link fault did to a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The message was dropped (and parked for later retransmission).
+    Dropped,
+    /// An extra copy of the message was enqueued.
+    Duplicated,
+    /// The message was assigned a delivery tick that overtakes an
+    /// earlier message on the same link.
+    Reordered,
+    /// The message was delayed by this many virtual ticks.
+    Delayed(u64),
+    /// A previously dropped message was re-enqueued by the recovery pass.
+    Retransmitted,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Dropped => f.write_str("dropped"),
+            FaultKind::Duplicated => f.write_str("duplicated"),
+            FaultKind::Reordered => f.write_str("reordered"),
+            FaultKind::Delayed(ticks) => write!(f, "delayed +{ticks}"),
+            FaultKind::Retransmitted => f.write_str("retransmitted"),
+        }
+    }
+}
+
 /// One observable event during a synchronous run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -37,6 +65,21 @@ pub enum TraceEvent {
         /// The new value.
         new: Value,
     },
+    /// The link layer injected a fault into a message (recorded by the
+    /// deterministic faulty-link runtime; `cycle` is the virtual tick at
+    /// which the sender emitted the message).
+    Fault {
+        /// Virtual tick of the send.
+        cycle: u64,
+        /// Sending agent.
+        from: AgentId,
+        /// Intended receiving agent.
+        to: AgentId,
+        /// Message class.
+        class: MessageClass,
+        /// What the fault did.
+        kind: FaultKind,
+    },
 }
 
 impl TraceEvent {
@@ -45,6 +88,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Delivered { cycle, .. } => *cycle,
             TraceEvent::ValueChanged { cycle, .. } => *cycle,
+            TraceEvent::Fault { cycle, .. } => *cycle,
         }
     }
 }
@@ -67,6 +111,13 @@ impl fmt::Display for TraceEvent {
                 Some(old) => write!(f, "[{cycle:>4}] {var}: {old} ⇒ {new}"),
                 None => write!(f, "[{cycle:>4}] {var}: ⇒ {new}"),
             },
+            TraceEvent::Fault {
+                cycle,
+                from,
+                to,
+                class,
+                kind,
+            } => write!(f, "[{cycle:>4}] {from} ⇏ {to}  ({class}) {kind}"),
         }
     }
 }
@@ -128,6 +179,17 @@ mod tests {
             new: Value::new(2),
         };
         assert_eq!(first.to_string(), "[   1] x5: ⇒ 2");
+        let fault = TraceEvent::Fault {
+            cycle: 7,
+            from: AgentId::new(2),
+            to: AgentId::new(3),
+            class: MessageClass::Ok,
+            kind: FaultKind::Delayed(4),
+        };
+        assert_eq!(fault.to_string(), "[   7] a2 ⇏ a3  (ok?) delayed +4");
+        assert_eq!(fault.cycle(), 7);
+        assert_eq!(FaultKind::Dropped.to_string(), "dropped");
+        assert_eq!(FaultKind::Retransmitted.to_string(), "retransmitted");
     }
 
     #[test]

@@ -5,8 +5,8 @@ use discsp_core::{
     AgentId, DistributedCsp, Domain, Nogood, Value, VarValue, VariableId,
 };
 use discsp_runtime::{
-    run_async, AgentStats, AsyncConfig, Classify, DistributedAgent, Envelope, MessageClass, Outbox,
-    SyncSimulator,
+    run_async, run_virtual, AgentStats, AsyncConfig, Classify, DistributedAgent, Envelope,
+    LinkPolicy, MessageClass, Outbox, RuntimeError, SyncSimulator, VirtualConfig, PPM,
 };
 
 /// Protocol: every agent must end up holding the maximum of all initial
@@ -200,4 +200,152 @@ fn observer_uses_final_assignment_snapshot() {
     let solution = run.outcome.solution.unwrap();
     assert!(problem.is_solution(&solution));
     assert_eq!(solution.num_vars(), 3);
+}
+
+/// A MaxAgent that misroutes its very first announcement to an agent
+/// outside the population.
+struct Misrouter(MaxAgent);
+
+impl DistributedAgent for Misrouter {
+    type Message = Announce;
+
+    fn id(&self) -> AgentId {
+        self.0.id()
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<Announce>) {
+        out.send(AgentId::new(999), Announce(self.0.value));
+        self.0.on_start(out);
+    }
+
+    fn on_batch(&mut self, inbox: Vec<Envelope<Announce>>, out: &mut Outbox<Announce>) {
+        self.0.on_batch(inbox, out);
+    }
+
+    fn assignments(&self) -> Vec<VarValue> {
+        self.0.assignments()
+    }
+
+    fn take_checks(&mut self) -> u64 {
+        self.0.take_checks()
+    }
+
+    fn stats(&self) -> AgentStats {
+        self.0.stats()
+    }
+}
+
+/// An agent that panics as soon as its first message arrives.
+struct Bomb(MaxAgent);
+
+impl DistributedAgent for Bomb {
+    type Message = Announce;
+
+    fn id(&self) -> AgentId {
+        self.0.id()
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<Announce>) {
+        self.0.on_start(out);
+    }
+
+    fn on_batch(&mut self, _inbox: Vec<Envelope<Announce>>, _out: &mut Outbox<Announce>) {
+        panic!("agent dies mid-run");
+    }
+
+    fn assignments(&self) -> Vec<VarValue> {
+        self.0.assignments()
+    }
+
+    fn take_checks(&mut self) -> u64 {
+        self.0.take_checks()
+    }
+
+    fn stats(&self) -> AgentStats {
+        self.0.stats()
+    }
+}
+
+#[test]
+fn async_run_reports_unknown_recipient() {
+    let problem = all_hold(3, 2, 3);
+    let population: Vec<Misrouter> = agents(3, 1, 2).into_iter().map(Misrouter).collect();
+    let result = run_async(population, &problem, &AsyncConfig::default());
+    match result {
+        Err(RuntimeError::UnknownRecipient { agent }) => {
+            assert_eq!(agent, AgentId::new(999));
+        }
+        other => panic!("expected UnknownRecipient, got {other:?}"),
+    }
+}
+
+#[test]
+fn async_run_reports_panicked_agent() {
+    let problem = all_hold(3, 2, 3);
+    let mut population: Vec<Bomb> = agents(3, 1, 2).into_iter().map(Bomb).collect();
+    // Keep one sane sender so the bomb actually receives a message.
+    population[0].0.value = Value::new(2);
+    let result = run_async(population, &problem, &AsyncConfig::default());
+    match result {
+        Err(RuntimeError::AgentPanicked { .. }) => {}
+        other => panic!("expected AgentPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn async_class_counters_equal_enqueued_copies_under_duplication() {
+    // Every message is duplicated: the ok? counter must equal the
+    // enqueued copies (sent + duplicated), not the emission count —
+    // the historical bug counted classes before routing.
+    let problem = all_hold(4, 3, 4);
+    let config = AsyncConfig {
+        link: LinkPolicy::perfect().with_duplication(PPM),
+        seed: 11,
+        ..AsyncConfig::default()
+    };
+    let report = run_async(agents(4, 0, 3), &problem, &config).expect("runs");
+    let m = &report.outcome.metrics;
+    assert!(m.termination.is_solved());
+    assert_eq!(m.messages_duplicated, m.messages_sent);
+    assert_eq!(
+        m.total_messages(),
+        m.messages_sent + m.messages_duplicated,
+        "classes must be counted per successfully enqueued copy"
+    );
+}
+
+#[test]
+fn virtual_run_reports_unknown_recipient() {
+    let problem = all_hold(3, 2, 3);
+    let population: Vec<Misrouter> = agents(3, 1, 2).into_iter().map(Misrouter).collect();
+    let result = run_virtual(population, &problem, &VirtualConfig::default());
+    match result {
+        Err(RuntimeError::UnknownRecipient { agent }) => {
+            assert_eq!(agent, AgentId::new(999));
+        }
+        other => panic!("expected UnknownRecipient, got {other:?}"),
+    }
+}
+
+#[test]
+fn virtual_run_solves_under_faults_with_exact_identity() {
+    let problem = all_hold(6, 9, 10);
+    let policy = LinkPolicy::lossy(100_000).with_delay(0, 2).with_reordering(2);
+    let config = VirtualConfig {
+        seed: 21,
+        link: policy,
+        ..VirtualConfig::default()
+    };
+    let report = run_virtual(agents(6, 0, 9), &problem, &config).expect("runs");
+    assert!(report.outcome.metrics.termination.is_solved());
+    let solution = report.outcome.solution.expect("solved");
+    for i in 0..6 {
+        assert_eq!(solution.get(VariableId::new(i)), Some(Value::new(9)));
+    }
+    let m = &report.outcome.metrics;
+    assert_eq!(
+        m.total_messages(),
+        m.messages_sent - m.messages_dropped + m.messages_duplicated + m.messages_retransmitted,
+        "deterministic runtime must keep the enqueued-copies identity exact"
+    );
 }

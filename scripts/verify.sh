@@ -19,4 +19,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> discsp-lint (workspace invariants: determinism, metrics, panic safety)"
 cargo run --release --offline -q -p discsp-lint
 
+echo "==> fault-injection soak (seed sweep over lossy/delayed/reordering links)"
+cargo run --release --offline -q --example lossy_links -- "${FAULT_SWEEP_SEEDS:-10}"
+
 echo "verify: OK"

@@ -74,5 +74,7 @@ pub mod prelude {
         graph_to_discsp, model_to_assignment, paper_coloring, paper_one_sat3, paper_sat3, read_col,
         read_dimacs, write_col, write_dimacs,
     };
-    pub use discsp_runtime::{AsyncConfig, SyncRun, SyncSimulator};
+    pub use discsp_runtime::{
+        AsyncConfig, LinkPolicy, SyncRun, SyncSimulator, VirtualConfig, PPM,
+    };
 }

@@ -88,3 +88,108 @@ fn async_message_counts_are_plausible() {
     assert!(m.ok_messages >= 108, "ok messages {}", m.ok_messages);
     assert!(m.total_checks > 0);
 }
+
+/// The fault policy exercised by the deterministic sweep: 10% drops, 2%
+/// duplicates, delivery delayed up to 2 ticks, 2-tick reordering window.
+fn faulty() -> LinkPolicy {
+    LinkPolicy::lossy(100_000)
+        .with_duplication(20_000)
+        .with_delay(0, 2)
+        .with_reordering(2)
+}
+
+#[test]
+fn awc_virtual_solves_coloring_over_faulty_links_across_seeds() {
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let solver = AwcSolver::new(AwcConfig::resolvent());
+    for seed in 0..5u64 {
+        let config = VirtualConfig {
+            seed,
+            link: faulty(),
+            ..VirtualConfig::default()
+        };
+        let report = solver.solve_virtual(&problem, &init, &config).expect("fits");
+        let m = &report.outcome.metrics;
+        assert_eq!(m.termination, Termination::Solved, "seed {seed}");
+        assert!(problem.is_solution(&report.outcome.solution.clone().expect("solved")));
+        assert!(m.messages_dropped > 0, "seed {seed}: lottery never fired");
+        assert_eq!(
+            m.total_messages(),
+            m.messages_sent - m.messages_dropped + m.messages_duplicated
+                + m.messages_retransmitted,
+            "seed {seed}: enqueued-copies identity"
+        );
+    }
+}
+
+#[test]
+fn db_virtual_solves_coloring_over_faulty_links_across_seeds() {
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let solver = DbaSolver::new();
+    for seed in 0..5u64 {
+        let config = VirtualConfig {
+            seed,
+            link: faulty(),
+            ..VirtualConfig::default()
+        };
+        let report = solver.solve_virtual(&problem, &init, &config).expect("fits");
+        assert_eq!(
+            report.outcome.metrics.termination,
+            Termination::Solved,
+            "seed {seed}"
+        );
+        assert!(problem.is_solution(&report.outcome.solution.expect("solved")));
+    }
+}
+
+#[test]
+fn virtual_faulty_runs_replay_bit_identically() {
+    // The acceptance criterion for the whole fault layer: a fixed
+    // (seed, policy) pair fully determines the run — counters,
+    // termination, solution, tick count, everything.
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let solver = AwcSolver::new(AwcConfig::resolvent());
+    let config = VirtualConfig {
+        seed: 424_242,
+        link: faulty(),
+        ..VirtualConfig::default()
+    };
+    let a = solver.solve_virtual(&problem, &init, &config).expect("fits");
+    let b = solver.solve_virtual(&problem, &init, &config).expect("fits");
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.ticks, b.ticks);
+    assert_eq!(a.activations, b.activations);
+    assert_eq!(a.nudges, b.nudges);
+}
+
+#[test]
+fn awc_async_solves_coloring_over_faulty_links() {
+    // Robustness of the *threaded* runtime under the same policy: the
+    // interleaving is not reproducible, but the outcome and the counter
+    // inequalities must hold on every run.
+    let problem = small_coloring();
+    let init = Assignment::total(vec![Value::new(0); 20]);
+    let config = AsyncConfig {
+        max_wall_time: Duration::from_secs(120),
+        seed: 7,
+        link: faulty(),
+        ..AsyncConfig::default()
+    };
+    let report = AwcSolver::new(AwcConfig::resolvent())
+        .solve_async(&problem, &init, &config)
+        .expect("fits");
+    let m = &report.outcome.metrics;
+    assert_eq!(m.termination, Termination::Solved);
+    assert!(problem.is_solution(&report.outcome.solution.clone().expect("solved")));
+    // Sends racing shutdown are discarded uncounted, hence ≤ rather
+    // than the deterministic runtime's equality.
+    assert!(
+        m.total_messages()
+            <= m.messages_sent - m.messages_dropped + m.messages_duplicated
+                + m.messages_retransmitted,
+        "class counters may only undercount enqueued copies"
+    );
+}
