@@ -42,6 +42,7 @@ mod problem;
 mod store;
 mod value;
 mod view;
+mod wire;
 
 pub use assignment::{Assignment, VarValue};
 pub use domain::{Domain, DomainIter};
@@ -54,3 +55,4 @@ pub use problem::{DistributedCsp, DistributedCspBuilder};
 pub use store::{IncrementalEval, NogoodIdx, NogoodStore};
 pub use value::{Value, ValueLabels};
 pub use view::{AgentView, ViewEntry};
+pub use wire::{Wire, WireError, WireReader};

@@ -120,6 +120,11 @@ impl DbaSolver {
         self
     }
 
+    /// The configured weight placement mode.
+    pub fn mode(&self) -> WeightMode {
+        self.mode
+    }
+
     /// Overrides the cycle limit.
     pub fn cycle_limit(mut self, limit: u64) -> Self {
         self.cycle_limit = limit;

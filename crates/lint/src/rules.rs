@@ -96,6 +96,12 @@ impl Rule {
 /// also have to police line by line.
 pub const D2_EXEMPT_VIRTUAL_CLOCK: &[&str] = &["crates/runtime/src/link.rs"];
 
+/// Files exempt from D2 by name in the network transport: socket
+/// plumbing legitimately needs wall-clock deadlines (handshake accept
+/// windows, connect backoff) — everything above it in `discsp-net`
+/// reasons in virtual ticks and stays under D2.
+pub const D2_EXEMPT_NET_TRANSPORT: &[&str] = &["crates/net/src/transport.rs"];
+
 pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     let p = rel_path.replace('\\', "/");
     let in_any = |prefixes: &[&str]| prefixes.iter().any(|pre| p.starts_with(pre));
@@ -106,6 +112,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/runtime/src/",
         "crates/awc/src/",
         "crates/dba/src/",
+        "crates/net/src/",
         "crates/cspsolve/src/",
         "crates/probgen/src/",
         "crates/bench/src/",
@@ -117,8 +124,10 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/runtime/src/",
         "crates/awc/src/",
         "crates/dba/src/",
+        "crates/net/src/",
         "crates/bench/src/",
     ]) && !D2_EXEMPT_VIRTUAL_CLOCK.contains(&p.as_str())
+        && !D2_EXEMPT_NET_TRANSPORT.contains(&p.as_str())
     {
         rules.push(Rule::D2);
     }
@@ -126,6 +135,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         rules.push(Rule::M1);
     }
     if p.starts_with("crates/runtime/src/")
+        || (p.starts_with("crates/net/src/") && p != "crates/net/src/main.rs")
         || p == "crates/awc/src/agent.rs"
         || p == "crates/awc/src/abt.rs"
         || p == "crates/dba/src/agent.rs"
@@ -663,6 +673,14 @@ mod tests {
         assert_eq!(rules_for("crates/cspsolve/src/backtrack.rs"), vec![Rule::D1]);
         assert_eq!(rules_for("crates/probgen/src/lib.rs"), vec![Rule::D1]);
         assert_eq!(rules_for("crates/lint/src/main.rs"), Vec::<Rule>::new());
+        // Protocol paths in the net crate are determinism- and
+        // panic-policed like the runtime; the binary's arg parsing may
+        // exit loudly, so P1 stops at main.rs.
+        assert_eq!(
+            rules_for("crates/net/src/coordinator.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
+        assert_eq!(rules_for("crates/net/src/main.rs"), vec![Rule::D1, Rule::D2]);
     }
 
     #[test]
@@ -674,6 +692,21 @@ mod tests {
             vec![Rule::D1, Rule::P1]
         );
         assert!(rules_for("crates/runtime/src/asynchronous.rs").contains(&Rule::D2));
+    }
+
+    #[test]
+    fn net_transport_is_exempt_from_d2_by_name_only() {
+        // Socket plumbing owns the crate's only sanctioned wall-clock
+        // sites (accept deadline, connect backoff); D2 is lifted there —
+        // and only there — while D1 and P1 still apply.
+        assert_eq!(
+            rules_for("crates/net/src/transport.rs"),
+            vec![Rule::D1, Rule::P1]
+        );
+        for policed in ["coordinator.rs", "endpoint.rs", "frame.rs", "solve.rs", "lib.rs"] {
+            let path = format!("crates/net/src/{policed}");
+            assert!(rules_for(&path).contains(&Rule::D2), "{path} must keep D2");
+        }
     }
 
     #[test]

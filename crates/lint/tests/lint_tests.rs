@@ -80,6 +80,29 @@ fn p1_test_exempt_is_clean() {
 }
 
 #[test]
+fn net_transport_d2_exemption_is_path_scoped() {
+    // The same wall-clock code is sanctioned at the transport path and a
+    // violation anywhere else in the net crate: the exemption is by file
+    // name, not by code shape.
+    let src = fixture("d2_net_transport.rs");
+    let allow = Allowlist::empty();
+    let at = |path: &str| {
+        analyze_source(path, &src, &discsp_lint::rules::rules_for(path), &allow)
+    };
+    let exempt = at("crates/net/src/transport.rs");
+    assert!(
+        rule_lines(&exempt, "D2").is_empty(),
+        "transport.rs is D2-exempt by name: {exempt:?}"
+    );
+    let policed = at("crates/net/src/coordinator.rs");
+    assert_eq!(
+        rule_lines(&policed, "D2"),
+        vec![7, 10],
+        "the identical source is flagged at every other net path"
+    );
+}
+
+#[test]
 fn broken_annotations_are_a0() {
     let fs = lint_fixture("allow_bad.rs");
     let a0_errors: Vec<u32> = fs

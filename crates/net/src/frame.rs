@@ -1,0 +1,306 @@
+//! Protocol frames.
+//!
+//! Every frame travels as `[u32 length ‖ version ‖ tag ‖ body]`: the
+//! length prefix is added by the transport ([`FrameConn`]), while the
+//! version byte and tag are part of the frame encoding itself, so a
+//! captured frame is self-describing. The protocol has two strict
+//! phases with disjoint tag spaces:
+//!
+//! * **setup** ([`SetupFrame`], tags 0–1): `Hello` (agent → coordinator)
+//!   and `Assign` (coordinator → agent), exchanged once per connection;
+//! * **run** ([`RunFrame`], tags 2–7): `Start`/`Deliver`/`Nudge`/`Stop`
+//!   from the coordinator, answered by `Step`/`Final` from the agent.
+//!
+//! Decoding a frame from the wrong phase fails with a typed
+//! [`WireError::BadTag`] — a desynchronized peer is detected at the
+//! first frame, not after undefined behavior.
+//!
+//! [`FrameConn`]: crate::transport::FrameConn
+
+use discsp_core::{VarValue, Wire, WireError, WireReader};
+use discsp_runtime::{AgentStats, Envelope, LinkPolicy};
+
+use crate::topology::AgentSlice;
+
+/// Version byte carried by every frame. Bump on any incompatible change
+/// to a frame layout or to the encoding of a type inside one.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one frame's encoded body, enforced on both send and
+/// receive: a corrupt length prefix must not provoke a gigabyte
+/// allocation.
+pub const MAX_FRAME_LEN: u64 = 16 * 1024 * 1024;
+
+fn encode_header(tag: u8, out: &mut Vec<u8>) {
+    out.push(WIRE_VERSION);
+    out.push(tag);
+}
+
+fn decode_header(r: &mut WireReader<'_>, context: &'static str) -> Result<u8, WireError> {
+    let version = r.u8(context)?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion {
+            got: version,
+            expected: WIRE_VERSION,
+        });
+    }
+    r.u8(context)
+}
+
+/// Handshake-phase frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupFrame {
+    /// Agent → coordinator: claims a slot in the population.
+    Hello {
+        /// The agent's index in `0..n`.
+        index: u32,
+    },
+    /// Coordinator → agent: ships the agent its slice of the problem
+    /// plus the session parameters, completing the handshake.
+    Assign {
+        /// Population size.
+        n_agents: u32,
+        /// The run seed (documents the session; faults are injected on
+        /// the coordinator's relay path, not by agents).
+        seed: u64,
+        /// The link fault policy in force on the relay path.
+        policy: LinkPolicy,
+        /// This agent's slice of the problem.
+        slice: AgentSlice,
+    },
+}
+
+impl Wire for SetupFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SetupFrame::Hello { index } => {
+                encode_header(0, out);
+                index.encode(out);
+            }
+            SetupFrame::Assign {
+                n_agents,
+                seed,
+                policy,
+                slice,
+            } => {
+                encode_header(1, out);
+                n_agents.encode(out);
+                seed.encode(out);
+                policy.encode(out);
+                slice.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match decode_header(r, "SetupFrame")? {
+            0 => Ok(SetupFrame::Hello {
+                index: r.u32("SetupFrame.Hello.index")?,
+            }),
+            1 => {
+                let n_agents = r.u32("SetupFrame.Assign.n_agents")?;
+                let seed = r.u64("SetupFrame.Assign.seed")?;
+                let policy = LinkPolicy::decode(r)?;
+                let slice = AgentSlice::decode(r)?;
+                Ok(SetupFrame::Assign {
+                    n_agents,
+                    seed,
+                    policy,
+                    slice,
+                })
+            }
+            tag => Err(WireError::BadTag {
+                context: "SetupFrame",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Run-phase frames, generic over the algorithm's message type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunFrame<M> {
+    /// Coordinator → agent: announce your initial state.
+    Start,
+    /// Coordinator → agent: a batch of messages due this virtual tick.
+    Deliver {
+        /// The batch, in deterministic enqueue order.
+        msgs: Vec<Envelope<M>>,
+    },
+    /// Coordinator → agent: the system stalled; re-announce your state
+    /// so views staled by lost traffic heal.
+    Nudge,
+    /// Agent → coordinator: the reply to `Start`/`Deliver`/`Nudge`.
+    Step {
+        /// Messages the agent sent this activation.
+        out: Vec<Envelope<M>>,
+        /// Nogood checks performed since the last step.
+        checks: u64,
+        /// The agent's current assignments (consistent-snapshot input).
+        assignments: Vec<VarValue>,
+        /// Whether the agent derived the empty nogood.
+        insoluble: bool,
+    },
+    /// Coordinator → agent: the session is over; send `Final` and exit.
+    Stop,
+    /// Agent → coordinator: end-of-run statistics, so metrics
+    /// aggregation survives the process boundary.
+    Final {
+        /// The agent's accumulated learning/messaging statistics.
+        stats: AgentStats,
+        /// Checks performed since the last `Step` reply.
+        leftover_checks: u64,
+    },
+}
+
+impl<M: Wire> Wire for RunFrame<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RunFrame::Start => encode_header(2, out),
+            RunFrame::Deliver { msgs } => {
+                encode_header(3, out);
+                msgs.encode(out);
+            }
+            RunFrame::Nudge => encode_header(4, out),
+            RunFrame::Step {
+                out: sent,
+                checks,
+                assignments,
+                insoluble,
+            } => {
+                encode_header(5, out);
+                sent.encode(out);
+                checks.encode(out);
+                assignments.encode(out);
+                insoluble.encode(out);
+            }
+            RunFrame::Stop => encode_header(6, out),
+            RunFrame::Final {
+                stats,
+                leftover_checks,
+            } => {
+                encode_header(7, out);
+                stats.encode(out);
+                leftover_checks.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match decode_header(r, "RunFrame")? {
+            2 => Ok(RunFrame::Start),
+            3 => Ok(RunFrame::Deliver {
+                msgs: Vec::<Envelope<M>>::decode(r)?,
+            }),
+            4 => Ok(RunFrame::Nudge),
+            5 => {
+                let out = Vec::<Envelope<M>>::decode(r)?;
+                let checks = r.u64("RunFrame.Step.checks")?;
+                let assignments = Vec::<VarValue>::decode(r)?;
+                let insoluble = bool::decode(r)?;
+                Ok(RunFrame::Step {
+                    out,
+                    checks,
+                    assignments,
+                    insoluble,
+                })
+            }
+            6 => Ok(RunFrame::Stop),
+            7 => {
+                let stats = AgentStats::decode(r)?;
+                let leftover_checks = r.u64("RunFrame.Final.leftover_checks")?;
+                Ok(RunFrame::Final {
+                    stats,
+                    leftover_checks,
+                })
+            }
+            tag => Err(WireError::BadTag {
+                context: "RunFrame",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_awc::AwcMessage;
+    use discsp_core::{AgentId, Priority, Value, VariableId};
+
+    fn env(from: u32, to: u32) -> Envelope<AwcMessage> {
+        Envelope::new(
+            AgentId::new(from),
+            AgentId::new(to),
+            AwcMessage::Ok {
+                var: VariableId::new(from),
+                value: Value::new(1),
+                priority: Priority::new(2),
+            },
+        )
+    }
+
+    #[test]
+    fn run_frames_roundtrip() {
+        let frames: Vec<RunFrame<AwcMessage>> = vec![
+            RunFrame::Start,
+            RunFrame::Deliver {
+                msgs: vec![env(0, 1), env(2, 1)],
+            },
+            RunFrame::Nudge,
+            RunFrame::Step {
+                out: vec![env(1, 0)],
+                checks: 17,
+                assignments: vec![VarValue::new(VariableId::new(1), Value::new(2))],
+                insoluble: false,
+            },
+            RunFrame::Stop,
+            RunFrame::Final {
+                stats: AgentStats::default(),
+                leftover_checks: 3,
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            assert_eq!(bytes.first(), Some(&WIRE_VERSION));
+            assert_eq!(RunFrame::<AwcMessage>::from_bytes(&bytes).as_ref(), Ok(&frame));
+        }
+    }
+
+    #[test]
+    fn phases_have_disjoint_tags() {
+        // A setup frame decoded as a run frame (and vice versa) fails
+        // with BadTag, never misparses.
+        let hello = SetupFrame::Hello { index: 3 }.to_bytes();
+        assert!(matches!(
+            RunFrame::<AwcMessage>::from_bytes(&hello),
+            Err(WireError::BadTag {
+                context: "RunFrame",
+                ..
+            })
+        ));
+        let start = RunFrame::<AwcMessage>::Start.to_bytes();
+        assert!(matches!(
+            SetupFrame::from_bytes(&start),
+            Err(WireError::BadTag {
+                context: "SetupFrame",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = RunFrame::<AwcMessage>::Start.to_bytes();
+        if let Some(first) = bytes.first_mut() {
+            *first = WIRE_VERSION + 1;
+        }
+        assert_eq!(
+            RunFrame::<AwcMessage>::from_bytes(&bytes),
+            Err(WireError::BadVersion {
+                got: WIRE_VERSION + 1,
+                expected: WIRE_VERSION,
+            })
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-process TCP transport for DisCSP solve sessions.
+//!
+//! Every other runtime in this workspace executes all agents inside one
+//! OS process. This crate runs a solve session as **one coordinator
+//! process plus N agent processes** talking over TCP:
+//!
+//! * a length-prefixed binary wire codec with versioned frames
+//!   ([`SetupFrame`], [`RunFrame`]), hand-rolled on the
+//!   [`Wire`](discsp_core::Wire) trait — no serde, no external deps;
+//! * a handshake/topology phase where the coordinator ships each agent
+//!   its slice of the [`DistributedCsp`](discsp_core::DistributedCsp)
+//!   ([`AgentSlice`]);
+//! * a networked quiescence/solution detector: the coordinator relays
+//!   every message, so its [`Router`](discsp_runtime::Router) queue *is*
+//!   the in-flight set — the same consistent-snapshot argument as the
+//!   in-process runtimes, now across sockets;
+//! * end-of-run metrics aggregation: each agent ships its
+//!   [`AgentStats`](discsp_runtime::AgentStats) home in a `Final` frame,
+//!   so `cycle`/`maxcck` accounting survives the process boundary.
+//!
+//! The deterministic [`LinkPolicy`](discsp_runtime::LinkPolicy) fault
+//! machinery is wired in at the socket layer: the coordinator's relay
+//! path routes every frame through the same per-link seeded fault
+//! lottery as `run_virtual`, so a lossy-network run replays its fault
+//! counters bit-for-bit from `(seed, policy)` — the determinism boundary
+//! is the *fault schedule*, not OS scheduling (see DESIGN.md §9).
+//!
+//! Entry points: [`SolveNet::solve_net`] on
+//! [`AwcSolver`](discsp_awc::AwcSolver) /
+//! [`DbaSolver`](discsp_dba::DbaSolver), and the `discsp-net` binary,
+//! which can play either role (`agent` / `demo`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+use discsp_core::{AgentId, VariableId, WireError};
+use discsp_runtime::{LinkPolicy, RuntimeError};
+
+mod coordinator;
+mod endpoint;
+mod frame;
+mod solve;
+mod topology;
+mod transport;
+
+pub use coordinator::{run_session, NetReport};
+pub use endpoint::run_agent;
+pub use frame::{RunFrame, SetupFrame, MAX_FRAME_LEN, WIRE_VERSION};
+pub use solve::{AgentLaunch, SolveNet};
+pub use topology::{AgentSlice, AlgoSpec};
+pub use transport::FrameConn;
+
+/// Configuration of a networked solve session.
+///
+/// The `(seed, link)` pair fully determines the fault schedule on the
+/// coordinator's relay path, exactly as in
+/// [`VirtualConfig`](discsp_runtime::VirtualConfig) — a failing lossy
+/// run replays from these two fields alone.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Seed deriving every per-link fault stream.
+    pub seed: u64,
+    /// Fault policy applied to every relayed link.
+    pub link: LinkPolicy,
+    /// Tick budget; the run reports a cutoff beyond it.
+    pub max_ticks: u64,
+    /// How many stall-triggered recovery passes to run before giving up.
+    pub max_nudges: u64,
+    /// Stop at the first globally consistent snapshot instead of
+    /// requiring the relay queue to drain (forced on for distributed
+    /// breakout, whose waves never go quiet).
+    pub stop_on_first_solution: bool,
+    /// How long the coordinator waits for all agents to connect and
+    /// complete the handshake.
+    pub handshake_timeout: Duration,
+    /// Per-socket read/write timeout during the run. `Duration::ZERO`
+    /// means block indefinitely.
+    pub io_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            seed: 0,
+            link: LinkPolicy::perfect(),
+            max_ticks: 1_000_000,
+            max_nudges: 64,
+            stop_on_first_solution: false,
+            handshake_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Everything that can go wrong in a networked solve session.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io {
+        /// What the session was doing when the I/O failed.
+        context: &'static str,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A frame failed to encode within limits or decode at all.
+    Wire(WireError),
+    /// A frame exceeded [`MAX_FRAME_LEN`].
+    FrameTooLong {
+        /// Announced or actual frame length.
+        len: u64,
+    },
+    /// The peer sent a frame that is valid but wrong for the current
+    /// protocol phase.
+    UnexpectedFrame {
+        /// The phase or frame that was expected instead.
+        expected: &'static str,
+    },
+    /// Not every agent connected within the handshake window.
+    HandshakeTimeout {
+        /// Agents that did connect.
+        connected: usize,
+        /// Agents the session needs.
+        expected: usize,
+    },
+    /// An agent greeted with an index outside `0..n`.
+    BadAgentIndex {
+        /// The offending index.
+        index: u32,
+        /// The population size.
+        population: usize,
+    },
+    /// Two agents greeted with the same index.
+    DuplicateAgentIndex {
+        /// The contested index.
+        index: u32,
+    },
+    /// An agent owns a number of variables other than one.
+    WrongVariableCount {
+        /// The offending agent.
+        agent: AgentId,
+        /// How many variables it owns.
+        count: usize,
+    },
+    /// An initial value is missing or outside its variable's domain.
+    BadInitialValue {
+        /// The variable with the unusable initial value.
+        var: VariableId,
+    },
+    /// An agent process or thread failed outside the protocol.
+    AgentFailed {
+        /// The agent's index.
+        index: u32,
+        /// What happened.
+        detail: String,
+    },
+    /// The shared routing machinery rejected a message.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, error } => write!(f, "i/o failure while {context}: {error}"),
+            NetError::Wire(e) => write!(f, "wire codec error: {e}"),
+            NetError::FrameTooLong { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit")
+            }
+            NetError::UnexpectedFrame { expected } => {
+                write!(f, "unexpected frame: expected {expected}")
+            }
+            NetError::HandshakeTimeout {
+                connected,
+                expected,
+            } => write!(
+                f,
+                "handshake timed out with {connected} of {expected} agents connected"
+            ),
+            NetError::BadAgentIndex { index, population } => {
+                write!(f, "agent index {index} outside population of {population}")
+            }
+            NetError::DuplicateAgentIndex { index } => {
+                write!(f, "two agents claimed index {index}")
+            }
+            NetError::WrongVariableCount { agent, count } => {
+                write!(f, "agent {agent} owns {count} variables; expected exactly 1")
+            }
+            NetError::BadInitialValue { var } => {
+                write!(f, "initial value for {var} is missing or out of domain")
+            }
+            NetError::AgentFailed { index, detail } => {
+                write!(f, "agent {index} failed: {detail}")
+            }
+            NetError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { error, .. } => Some(error),
+            NetError::Wire(e) => Some(e),
+            NetError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<RuntimeError> for NetError {
+    fn from(e: RuntimeError) -> Self {
+        NetError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_perfect_and_bounded() {
+        let config = NetConfig::default();
+        assert!(config.link.is_perfect());
+        assert!(!config.stop_on_first_solution);
+        assert!(config.max_ticks > 0);
+        assert!(config.handshake_timeout > Duration::ZERO);
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = NetError::HandshakeTimeout {
+            connected: 2,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("2 of 5"));
+        let e = NetError::BadAgentIndex {
+            index: 9,
+            population: 3,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = NetError::Wire(WireError::Trailing { remaining: 4 });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

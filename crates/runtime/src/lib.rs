@@ -28,9 +28,11 @@ mod asynchronous;
 mod error;
 mod link;
 mod message;
+mod router;
 mod seed;
 mod sync;
 mod trace;
+mod wire;
 
 pub use agent::{AgentStats, DistributedAgent, Outbox};
 pub use asynchronous::{run_async, AsyncConfig, AsyncReport};
@@ -40,6 +42,7 @@ pub use link::{
     VirtualReport, PPM,
 };
 pub use message::{Classify, Envelope, MessageClass};
+pub use router::Router;
 pub use seed::{derive_seed, SplitMix64};
 pub use sync::{CycleRecord, SyncRun, SyncSimulator};
 pub use trace::{render_trace, FaultKind, TraceEvent};

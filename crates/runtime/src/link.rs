@@ -25,8 +25,6 @@
 //! liveness guarantee the way TCP does over a lossy wire, while every
 //! fault stays observable in the counters.
 
-use std::collections::BTreeMap;
-
 use discsp_core::{
     AgentId, Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome,
 };
@@ -34,7 +32,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::agent::{AgentStats, DistributedAgent, Outbox};
 use crate::error::RuntimeError;
-use crate::message::{Classify, Envelope, MessageClass};
+use crate::router::Router;
 use crate::seed::SplitMix64;
 use crate::trace::{FaultKind, TraceEvent};
 
@@ -371,110 +369,6 @@ pub struct VirtualReport {
     pub trace: Vec<TraceEvent>,
 }
 
-/// Routing/enqueue state shared by the virtual executor's phases.
-struct VirtualNet<M> {
-    /// Event queue keyed by `(due_tick, enqueue_seq)` — a total,
-    /// deterministic delivery order.
-    queue: BTreeMap<(u64, u64), Envelope<M>>,
-    links: Vec<Link>,
-    /// Dropped messages parked per sending agent, in drop order.
-    parked: Vec<Vec<Envelope<M>>>,
-    n: usize,
-    seq: u64,
-    ok_messages: u64,
-    nogood_messages: u64,
-    other_messages: u64,
-    record_trace: bool,
-    trace: Vec<TraceEvent>,
-}
-
-impl<M: Classify + Clone> VirtualNet<M> {
-    fn link_index(&self, from: AgentId, to: AgentId) -> usize {
-        from.index() * self.n + to.index()
-    }
-
-    fn enqueue(&mut self, due: u64, env: Envelope<M>) {
-        match env.payload.class() {
-            MessageClass::Ok => self.ok_messages += 1,
-            MessageClass::Nogood => self.nogood_messages += 1,
-            MessageClass::Other => self.other_messages += 1,
-        }
-        self.queue.insert((due, self.seq), env);
-        self.seq += 1;
-    }
-
-    /// Routes one freshly sent envelope through its link at time `now`.
-    fn route(&mut self, now: u64, env: Envelope<M>) -> Result<(), RuntimeError> {
-        if env.to.index() >= self.n {
-            return Err(RuntimeError::UnknownRecipient { agent: env.to });
-        }
-        let index = self.link_index(env.from, env.to);
-        let decision = match self.links.get_mut(index) {
-            Some(link) => link.route(now),
-            None => return Err(RuntimeError::UnknownRecipient { agent: env.to }),
-        };
-        if self.record_trace {
-            for &kind in &decision.faults {
-                self.trace.push(TraceEvent::Fault {
-                    cycle: now,
-                    from: env.from,
-                    to: env.to,
-                    class: env.payload.class(),
-                    kind,
-                });
-            }
-        }
-        if decision.deliveries.is_empty() {
-            if let Some(bucket) = self.parked.get_mut(env.from.index()) {
-                bucket.push(env);
-            }
-            return Ok(());
-        }
-        let mut copies = decision.deliveries.into_iter().peekable();
-        while let Some(due) = copies.next() {
-            if copies.peek().is_some() {
-                self.enqueue(due, env.clone());
-            } else {
-                self.enqueue(due, env);
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    /// Re-enqueues every parked (dropped) message. Returns how many were
-    /// flushed.
-    fn flush_parked(&mut self, now: u64) -> usize {
-        let mut flushed = 0;
-        for from in 0..self.n {
-            let bucket = match self.parked.get_mut(from) {
-                Some(b) => std::mem::take(b),
-                None => Vec::new(),
-            };
-            for env in bucket {
-                let index = self.link_index(env.from, env.to);
-                let due = match self.links.get_mut(index) {
-                    Some(link) => link.redeliver(now),
-                    None => now,
-                };
-                if self.record_trace {
-                    self.trace.push(TraceEvent::Fault {
-                        cycle: now,
-                        from: env.from,
-                        to: env.to,
-                        class: env.payload.class(),
-                        kind: FaultKind::Retransmitted,
-                    });
-                }
-                self.enqueue(due, env);
-                flushed += 1;
-            }
-        }
-        flushed
-    }
-
-}
-
 /// Runs `agents` on the deterministic faulty-link runtime: a virtual-time
 /// event executor where every delivery, fault, and activation order is a
 /// pure function of `(agents, problem, config)`. Two runs with the same
@@ -509,24 +403,7 @@ where
         }
     }
     let n = agents.len();
-    let mut net = VirtualNet {
-        queue: BTreeMap::new(),
-        links: (0..n * n)
-            .map(|index| {
-                let from = AgentId::new((index / n) as u32);
-                let to = AgentId::new((index % n) as u32);
-                Link::new(config.link, derive_link_seed(config.seed, from, to))
-            })
-            .collect(),
-        parked: (0..n).map(|_| Vec::new()).collect(),
-        n,
-        seq: 0,
-        ok_messages: 0,
-        nogood_messages: 0,
-        other_messages: 0,
-        record_trace: config.record_trace,
-        trace: Vec::new(),
-    };
+    let mut net: Router<A::Message> = Router::new(n, config.link, config.seed, config.record_trace);
 
     let mut metrics = RunMetrics::new(Termination::CutOff);
     let mut snapshot = Assignment::empty(problem.num_vars());
@@ -560,7 +437,7 @@ where
             termination = Termination::Solved;
             break;
         }
-        let Some((&(due, _), _)) = net.queue.iter().next() else {
+        let Some(due) = net.next_due() else {
             // Quiescent: the queue is the in-flight set, so this snapshot
             // is stable unless the recovery pass injects new traffic.
             if problem.is_solution(&snapshot) {
@@ -581,7 +458,7 @@ where
                     net.route(tick, env)?;
                 }
             }
-            if net.queue.is_empty() {
+            if net.is_quiescent() {
                 // Nothing to retransmit and nobody re-announced: the
                 // stall is permanent.
                 termination = Termination::CutOff;
@@ -597,26 +474,7 @@ where
 
         // Deliver every message due this tick, batched per recipient in
         // ascending (recipient, enqueue_seq) order.
-        let mut inboxes: BTreeMap<usize, Vec<Envelope<A::Message>>> = BTreeMap::new();
-        let due_keys: Vec<(u64, u64)> = net
-            .queue
-            .range((due, 0)..=(due, u64::MAX))
-            .map(|(&k, _)| k)
-            .collect();
-        for key in due_keys {
-            if let Some(env) = net.queue.remove(&key) {
-                if net.record_trace {
-                    net.trace.push(TraceEvent::Delivered {
-                        cycle: tick,
-                        from: env.from,
-                        to: env.to,
-                        class: env.payload.class(),
-                    });
-                }
-                inboxes.entry(env.to.index()).or_default().push(env);
-            }
-        }
-        for (recipient, inbox) in inboxes {
+        for (recipient, inbox) in net.take_due(due, tick) {
             let Some(agent) = agents.get_mut(recipient) else {
                 continue;
             };
@@ -636,19 +494,16 @@ where
 
     metrics.termination = termination;
     metrics.cycles = tick;
-    metrics.ok_messages = net.ok_messages;
-    metrics.nogood_messages = net.nogood_messages;
-    metrics.other_messages = net.other_messages;
+    let (ok, nogood, other) = net.class_counts();
+    metrics.ok_messages = ok;
+    metrics.nogood_messages = nogood;
+    metrics.other_messages = other;
     let mut stats = AgentStats::default();
     for agent in agents.iter_mut() {
         metrics.total_checks += agent.take_checks();
         stats.absorb(agent.stats());
     }
-    let mut link_totals = LinkStats::default();
-    for link in &net.links {
-        link_totals.absorb(link.stats);
-    }
-    link_totals.fold_into(&mut stats);
+    net.link_totals().fold_into(&mut stats);
     metrics.nogoods_generated = stats.nogoods_generated;
     metrics.redundant_nogoods = stats.redundant_nogoods;
     metrics.largest_nogood = stats.largest_nogood;
@@ -669,13 +524,14 @@ where
         ticks: tick,
         activations,
         nudges,
-        trace: net.trace,
+        trace: net.take_trace(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::{Classify, Envelope, MessageClass};
     use discsp_core::{Domain, Nogood, Value, VarValue, VariableId};
 
     #[test]

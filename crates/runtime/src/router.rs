@@ -1,0 +1,294 @@
+//! The deterministic message router shared by the virtual executor and
+//! the TCP coordinator.
+//!
+//! [`Router`] owns the event queue, the n×n [`Link`] matrix, the parked
+//! (dropped-message) recovery buffers, and the per-class message
+//! counters that used to live inside `run_virtual`. Extracting it lets
+//! `discsp-net` relay frames between OS processes through *exactly* the
+//! same fault lottery and delivery ordering as the in-process virtual
+//! runtime: as long as callers issue `route`/`flush_parked`/`take_due`
+//! in the same order, the per-link [`SplitMix64`](crate::SplitMix64)
+//! streams are consumed identically and every fault counter replays
+//! bit-for-bit from `(seed, policy)` — whether the agents live in this
+//! process or behind a socket.
+
+use std::collections::BTreeMap;
+
+use discsp_core::AgentId;
+
+use crate::error::RuntimeError;
+use crate::link::{derive_link_seed, Link, LinkPolicy, LinkStats};
+use crate::message::{Classify, Envelope, MessageClass};
+use crate::trace::{FaultKind, TraceEvent};
+
+/// Deterministic routing/enqueue state: event queue, link matrix, parked
+/// drops, and message-class counters.
+///
+/// Delivery order is total and deterministic: the queue is keyed by
+/// `(due_tick, enqueue_seq)`, so two routers fed the same calls in the
+/// same order drain identically.
+#[derive(Debug)]
+pub struct Router<M> {
+    /// Event queue keyed by `(due_tick, enqueue_seq)` — a total,
+    /// deterministic delivery order.
+    queue: BTreeMap<(u64, u64), Envelope<M>>,
+    links: Vec<Link>,
+    /// Dropped messages parked per sending agent, in drop order.
+    parked: Vec<Vec<Envelope<M>>>,
+    n: usize,
+    seq: u64,
+    ok_messages: u64,
+    nogood_messages: u64,
+    other_messages: u64,
+    record_trace: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl<M: Classify + Clone> Router<M> {
+    /// Creates the router for `n` agents, every directed link following
+    /// `policy` with its stream derived from `run_seed` via
+    /// [`derive_link_seed`].
+    pub fn new(n: usize, policy: LinkPolicy, run_seed: u64, record_trace: bool) -> Self {
+        Router {
+            queue: BTreeMap::new(),
+            links: (0..n * n)
+                .map(|index| {
+                    let from = AgentId::new((index / n) as u32);
+                    let to = AgentId::new((index % n) as u32);
+                    Link::new(policy, derive_link_seed(run_seed, from, to))
+                })
+                .collect(),
+            parked: (0..n).map(|_| Vec::new()).collect(),
+            n,
+            seq: 0,
+            ok_messages: 0,
+            nogood_messages: 0,
+            other_messages: 0,
+            record_trace,
+            trace: Vec::new(),
+        }
+    }
+
+    fn link_index(&self, from: AgentId, to: AgentId) -> usize {
+        from.index() * self.n + to.index()
+    }
+
+    fn enqueue(&mut self, due: u64, env: Envelope<M>) {
+        match env.payload.class() {
+            MessageClass::Ok => self.ok_messages += 1,
+            MessageClass::Nogood => self.nogood_messages += 1,
+            MessageClass::Other => self.other_messages += 1,
+        }
+        self.queue.insert((due, self.seq), env);
+        self.seq += 1;
+    }
+
+    /// Routes one freshly sent envelope through its link at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownRecipient`] when the envelope addresses an
+    /// agent outside the population.
+    pub fn route(&mut self, now: u64, env: Envelope<M>) -> Result<(), RuntimeError> {
+        if env.to.index() >= self.n {
+            return Err(RuntimeError::UnknownRecipient { agent: env.to });
+        }
+        let index = self.link_index(env.from, env.to);
+        let decision = match self.links.get_mut(index) {
+            Some(link) => link.route(now),
+            None => return Err(RuntimeError::UnknownRecipient { agent: env.to }),
+        };
+        if self.record_trace {
+            for &kind in &decision.faults {
+                self.trace.push(TraceEvent::Fault {
+                    cycle: now,
+                    from: env.from,
+                    to: env.to,
+                    class: env.payload.class(),
+                    kind,
+                });
+            }
+        }
+        if decision.deliveries.is_empty() {
+            if let Some(bucket) = self.parked.get_mut(env.from.index()) {
+                bucket.push(env);
+            }
+            return Ok(());
+        }
+        let mut copies = decision.deliveries.into_iter().peekable();
+        while let Some(due) = copies.next() {
+            if copies.peek().is_some() {
+                self.enqueue(due, env.clone());
+            } else {
+                self.enqueue(due, env);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-enqueues every parked (dropped) message, in sender order.
+    /// Returns how many were flushed.
+    pub fn flush_parked(&mut self, now: u64) -> usize {
+        let mut flushed = 0;
+        for from in 0..self.n {
+            let bucket = match self.parked.get_mut(from) {
+                Some(b) => std::mem::take(b),
+                None => Vec::new(),
+            };
+            for env in bucket {
+                let index = self.link_index(env.from, env.to);
+                let due = match self.links.get_mut(index) {
+                    Some(link) => link.redeliver(now),
+                    None => now,
+                };
+                if self.record_trace {
+                    self.trace.push(TraceEvent::Fault {
+                        cycle: now,
+                        from: env.from,
+                        to: env.to,
+                        class: env.payload.class(),
+                        kind: FaultKind::Retransmitted,
+                    });
+                }
+                self.enqueue(due, env);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// The due tick of the earliest queued message, if any.
+    pub fn next_due(&self) -> Option<u64> {
+        self.queue.keys().next().map(|&(due, _)| due)
+    }
+
+    /// Whether the in-flight set (queue) is empty. The queue *is* the
+    /// in-flight set, so an empty queue means the captured assignment
+    /// snapshot is a consistent global state.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Removes every message due exactly at `due`, batched per recipient
+    /// in ascending `(recipient, enqueue_seq)` order, recording
+    /// `Delivered` trace events at cycle `tick`.
+    pub fn take_due(&mut self, due: u64, tick: u64) -> BTreeMap<usize, Vec<Envelope<M>>> {
+        let mut inboxes: BTreeMap<usize, Vec<Envelope<M>>> = BTreeMap::new();
+        let due_keys: Vec<(u64, u64)> = self
+            .queue
+            .range((due, 0)..=(due, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in due_keys {
+            if let Some(env) = self.queue.remove(&key) {
+                if self.record_trace {
+                    self.trace.push(TraceEvent::Delivered {
+                        cycle: tick,
+                        from: env.from,
+                        to: env.to,
+                        class: env.payload.class(),
+                    });
+                }
+                inboxes.entry(env.to.index()).or_default().push(env);
+            }
+        }
+        inboxes
+    }
+
+    /// Per-class counts of enqueued message copies:
+    /// `(ok, nogood, other)`.
+    pub fn class_counts(&self) -> (u64, u64, u64) {
+        (self.ok_messages, self.nogood_messages, self.other_messages)
+    }
+
+    /// Fault counters summed over every link.
+    pub fn link_totals(&self) -> LinkStats {
+        let mut totals = LinkStats::default();
+        for link in &self.links {
+            totals.absorb(link.stats);
+        }
+        totals
+    }
+
+    /// Takes the recorded trace (empty unless trace recording is on).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_core::Value;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Note(Value);
+
+    impl Classify for Note {
+        fn class(&self) -> MessageClass {
+            MessageClass::Ok
+        }
+    }
+
+    fn env(from: u32, to: u32) -> Envelope<Note> {
+        Envelope {
+            from: AgentId::new(from),
+            to: AgentId::new(to),
+            payload: Note(Value::new(0)),
+        }
+    }
+
+    #[test]
+    fn perfect_router_delivers_next_tick_in_order() {
+        let mut router: Router<Note> = Router::new(3, LinkPolicy::perfect(), 0, false);
+        router.route(0, env(0, 1)).expect("routes");
+        router.route(0, env(1, 2)).expect("routes");
+        assert_eq!(router.next_due(), Some(1));
+        assert!(!router.is_quiescent());
+        let inboxes = router.take_due(1, 1);
+        assert_eq!(inboxes.len(), 2);
+        assert!(router.is_quiescent());
+        assert_eq!(router.class_counts(), (2, 0, 0));
+        assert_eq!(router.link_totals().sent, 2);
+    }
+
+    #[test]
+    fn dropped_messages_park_and_flush() {
+        let mut router: Router<Note> = Router::new(2, LinkPolicy::lossy(crate::PPM), 7, false);
+        router.route(0, env(0, 1)).expect("routes");
+        assert!(router.is_quiescent(), "drop leaves the queue empty");
+        assert_eq!(router.flush_parked(1), 1);
+        assert!(!router.is_quiescent());
+        let totals = router.link_totals();
+        assert_eq!(totals.dropped, 1);
+        assert_eq!(totals.retransmitted, 1);
+    }
+
+    #[test]
+    fn unknown_recipient_is_an_error() {
+        let mut router: Router<Note> = Router::new(2, LinkPolicy::perfect(), 0, false);
+        let err = router.route(0, env(0, 9)).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::UnknownRecipient {
+                agent: AgentId::new(9)
+            }
+        );
+    }
+
+    #[test]
+    fn two_routers_fed_identically_agree() {
+        let policy = LinkPolicy::lossy(300_000).with_delay(0, 3).with_duplication(100_000);
+        let mut a: Router<Note> = Router::new(3, policy, 42, false);
+        let mut b: Router<Note> = Router::new(3, policy, 42, false);
+        for now in 0..50 {
+            for (from, to) in [(0, 1), (1, 2), (2, 0)] {
+                a.route(now, env(from, to)).expect("routes");
+                b.route(now, env(from, to)).expect("routes");
+            }
+        }
+        assert_eq!(a.class_counts(), b.class_counts());
+        assert_eq!(a.link_totals(), b.link_totals());
+    }
+}

@@ -22,4 +22,7 @@ cargo run --release --offline -q -p discsp-lint
 echo "==> fault-injection soak (seed sweep over lossy/delayed/reordering links)"
 cargo run --release --offline -q --example lossy_links -- "${FAULT_SWEEP_SEEDS:-10}"
 
+echo "==> net smoke (coordinator + agent processes over loopback TCP)"
+timeout 120 cargo test -q --release --offline -p discsp-net --test net_loopback
+
 echo "verify: OK"

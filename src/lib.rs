@@ -69,6 +69,7 @@ pub mod prelude {
     };
     pub use discsp_cspsolve::{random_assignment, Backtracker, MinConflicts};
     pub use discsp_dba::{DbaSolver, WeightMode};
+    pub use discsp_net::{AgentLaunch, NetConfig, SolveNet};
     pub use discsp_probgen::{
         cnf_to_discsp, coloring_to_discsp, generate_coloring, generate_one_sat3, generate_sat3,
         graph_to_discsp, model_to_assignment, paper_coloring, paper_one_sat3, paper_sat3, read_col,
