@@ -16,7 +16,8 @@ use discsp_core::{
     AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Rank, Value, VarValue, VariableId,
 };
 use discsp_runtime::{
-    AgentStats, Classify, DistributedAgent, Envelope, MessageClass, Outbox, SyncRun, SyncSimulator,
+    AgentNote, AgentStats, Classify, DistributedAgent, Envelope, MessageClass, Outbox, SyncRun,
+    SyncSimulator,
 };
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +83,8 @@ pub struct AbtAgent {
     lower_links: BTreeSet<AgentId>,
     stats: AgentStats,
     generated_before: BTreeSet<Nogood>,
+    /// Trace notes (learned nogoods) accumulated since the last drain.
+    notes: Vec<AgentNote>,
     insoluble: bool,
 }
 
@@ -122,6 +125,7 @@ impl AbtAgent {
             lower_links,
             stats: AgentStats::default(),
             generated_before: BTreeSet::new(),
+            notes: Vec::new(),
             insoluble: false,
         }
     }
@@ -201,6 +205,9 @@ impl AbtAgent {
             .collect();
         self.stats.nogoods_generated += 1;
         self.stats.largest_nogood = self.stats.largest_nogood.max(nogood.len() as u64);
+        self.notes.push(AgentNote::NogoodLearned {
+            size: nogood.len() as u64,
+        });
         if !self.generated_before.insert(nogood.clone()) {
             self.stats.redundant_nogoods += 1;
         }
@@ -308,6 +315,10 @@ impl DistributedAgent for AbtAgent {
     fn detected_insoluble(&self) -> bool {
         self.insoluble
     }
+
+    fn drain_notes(&mut self) -> Vec<AgentNote> {
+        std::mem::take(&mut self.notes)
+    }
 }
 
 /// Builds and runs ABT agent populations on the synchronous simulator.
@@ -315,6 +326,7 @@ impl DistributedAgent for AbtAgent {
 pub struct AbtSolver {
     cycle_limit: u64,
     record_history: bool,
+    record_trace: bool,
 }
 
 impl AbtSolver {
@@ -323,6 +335,7 @@ impl AbtSolver {
         AbtSolver {
             cycle_limit: discsp_core::PAPER_CYCLE_LIMIT,
             record_history: false,
+            record_trace: false,
         }
     }
 
@@ -335,6 +348,12 @@ impl AbtSolver {
     /// Enables per-cycle history recording.
     pub fn record_history(mut self, on: bool) -> Self {
         self.record_history = on;
+        self
+    }
+
+    /// Enables event-trace recording (see `discsp_runtime::TraceEvent`).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
         self
     }
 
@@ -376,7 +395,8 @@ impl AbtSolver {
         }
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(self.cycle_limit)
-            .record_history(self.record_history);
+            .record_history(self.record_history)
+            .record_trace(self.record_trace);
         sim.run(problem).map_err(AwcError::from)
     }
 }

@@ -6,7 +6,7 @@ use discsp_core::{
     AgentId, AgentView, Domain, IncrementalEval, Nogood, NogoodIdx, NogoodStore, Priority, Rank,
     Value, VarValue, VariableId,
 };
-use discsp_runtime::{AgentStats, DistributedAgent, Envelope, Outbox};
+use discsp_runtime::{AgentNote, AgentStats, DistributedAgent, Envelope, Outbox};
 use serde::{Deserialize, Serialize};
 
 use crate::learning::{Deadend, Learning};
@@ -125,6 +125,8 @@ pub struct AwcAgent {
     last_generated: Option<Nogood>,
     generated_before: BTreeSet<Nogood>,
     stats: AgentStats,
+    /// Trace notes (learned nogoods) accumulated since the last drain.
+    notes: Vec<AgentNote>,
     insoluble: bool,
 }
 
@@ -167,6 +169,7 @@ impl AwcAgent {
             last_generated: None,
             generated_before: BTreeSet::new(),
             stats: AgentStats::default(),
+            notes: Vec::new(),
             insoluble: false,
         }
     }
@@ -322,6 +325,11 @@ impl AwcAgent {
         if let Some(nogood) = learned {
             self.stats.nogoods_generated += 1;
             self.stats.largest_nogood = self.stats.largest_nogood.max(nogood.len() as u64);
+            // Note the generation before the same-as-last dedup below:
+            // the trace must explain `nogoods_generated` one-for-one.
+            self.notes.push(AgentNote::NogoodLearned {
+                size: nogood.len() as u64,
+            });
             if !self.generated_before.insert(nogood.clone()) {
                 self.stats.redundant_nogoods += 1;
             }
@@ -462,6 +470,14 @@ impl DistributedAgent for AwcAgent {
 
     fn detected_insoluble(&self) -> bool {
         self.insoluble
+    }
+
+    fn current_priority(&self) -> Option<u64> {
+        Some(self.priority.get())
+    }
+
+    fn drain_notes(&mut self) -> Vec<AgentNote> {
+        std::mem::take(&mut self.notes)
     }
 }
 

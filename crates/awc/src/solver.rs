@@ -100,6 +100,7 @@ pub struct AwcSolver {
     config: AwcConfig,
     cycle_limit: u64,
     record_history: bool,
+    record_trace: bool,
     message_delay: Option<(u64, u64)>,
 }
 
@@ -111,6 +112,7 @@ impl AwcSolver {
             config,
             cycle_limit: discsp_core::PAPER_CYCLE_LIMIT,
             record_history: false,
+            record_trace: false,
             message_delay: None,
         }
     }
@@ -133,6 +135,13 @@ impl AwcSolver {
     /// Enables per-cycle history recording on synchronous runs.
     pub fn record_history(mut self, on: bool) -> Self {
         self.record_history = on;
+        self
+    }
+
+    /// Enables event-trace recording on synchronous runs (see
+    /// `discsp_runtime::TraceEvent`).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
         self
     }
 
@@ -201,7 +210,8 @@ impl AwcSolver {
         let agents = self.build_agents(problem, init)?;
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(self.cycle_limit)
-            .record_history(self.record_history);
+            .record_history(self.record_history)
+            .record_trace(self.record_trace);
         if let Some((max_extra, seed)) = self.message_delay {
             sim.message_delay(max_extra, seed);
         }

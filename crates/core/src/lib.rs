@@ -35,6 +35,7 @@ mod assignment;
 mod domain;
 mod error;
 mod ids;
+mod message;
 mod metrics;
 mod nogood;
 mod priority;
@@ -48,6 +49,7 @@ pub use assignment::{Assignment, VarValue};
 pub use domain::{Domain, DomainIter};
 pub use error::CoreError;
 pub use ids::{AgentId, VariableId};
+pub use message::{Classify, MessageClass};
 pub use metrics::{Aggregate, RunMetrics, Termination, TrialOutcome, PAPER_CYCLE_LIMIT};
 pub use nogood::Nogood;
 pub use priority::{Priority, Rank};

@@ -1,0 +1,51 @@
+//! Message classification shared by every runtime and the trace layer.
+//!
+//! Lives in `discsp-core` (rather than `discsp-runtime`, where the
+//! envelopes are) because trace events carry a [`MessageClass`] and the
+//! trace crate must not depend on any particular runtime.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Broad message classes, used by the runtimes to attribute message counts
+/// to the paper's categories (`ok?`, `nogood`, everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// An `ok?` message announcing a value (and priority).
+    Ok,
+    /// A `nogood` message carrying a learned nogood.
+    Nogood,
+    /// Any other algorithm message (`improve`, add-link requests, …).
+    Other,
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageClass::Ok => "ok?",
+            MessageClass::Nogood => "nogood",
+            MessageClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Implemented by algorithm message types so runtimes can meter traffic
+/// without knowing the concrete protocol.
+pub trait Classify {
+    /// The broad class of this message.
+    fn class(&self) -> MessageClass;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_display() {
+        assert_eq!(MessageClass::Ok.to_string(), "ok?");
+        assert_eq!(MessageClass::Nogood.to_string(), "nogood");
+        assert_eq!(MessageClass::Other.to_string(), "other");
+    }
+}

@@ -18,6 +18,7 @@ use std::fmt;
 use crate::assignment::{Assignment, VarValue};
 use crate::domain::Domain;
 use crate::ids::{AgentId, VariableId};
+use crate::message::MessageClass;
 use crate::metrics::{RunMetrics, Termination};
 use crate::nogood::Nogood;
 use crate::priority::Priority;
@@ -417,6 +418,29 @@ impl Wire for Assignment {
     }
 }
 
+impl Wire for MessageClass {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            MessageClass::Ok => 0,
+            MessageClass::Nogood => 1,
+            MessageClass::Other => 2,
+        };
+        out.push(tag);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8("MessageClass")? {
+            0 => Ok(MessageClass::Ok),
+            1 => Ok(MessageClass::Nogood),
+            2 => Ok(MessageClass::Other),
+            tag => Err(WireError::BadTag {
+                context: "MessageClass",
+                tag,
+            }),
+        }
+    }
+}
+
 impl Wire for Termination {
     fn encode(&self, out: &mut Vec<u8>) {
         let tag: u8 = match self {
@@ -528,6 +552,9 @@ mod tests {
         roundtrip(partial);
         roundtrip(Assignment::total([Value::new(0), Value::new(2)]));
         roundtrip(Termination::Insoluble);
+        roundtrip(MessageClass::Ok);
+        roundtrip(MessageClass::Nogood);
+        roundtrip(MessageClass::Other);
         let mut metrics = RunMetrics::new(Termination::Solved);
         metrics.cycles = 42;
         metrics.messages_dropped = 7;

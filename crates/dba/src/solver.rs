@@ -90,6 +90,7 @@ pub struct DbaSolver {
     mode: WeightMode,
     cycle_limit: u64,
     record_history: bool,
+    record_trace: bool,
     message_delay: Option<(u64, u64)>,
 }
 
@@ -101,6 +102,7 @@ impl DbaSolver {
             mode: WeightMode::PerNogood,
             cycle_limit: discsp_core::PAPER_CYCLE_LIMIT,
             record_history: false,
+            record_trace: false,
             message_delay: None,
         }
     }
@@ -134,6 +136,13 @@ impl DbaSolver {
     /// Enables per-cycle history recording on synchronous runs.
     pub fn record_history(mut self, on: bool) -> Self {
         self.record_history = on;
+        self
+    }
+
+    /// Enables event-trace recording on synchronous runs (see
+    /// `discsp_runtime::TraceEvent`).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
         self
     }
 
@@ -192,7 +201,8 @@ impl DbaSolver {
         let agents = self.build_agents(problem, init)?;
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(self.cycle_limit)
-            .record_history(self.record_history);
+            .record_history(self.record_history)
+            .record_trace(self.record_trace);
         if let Some((max_extra, seed)) = self.message_delay {
             sim.message_delay(max_extra, seed);
         }

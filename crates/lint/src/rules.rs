@@ -109,6 +109,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     let mut rules = Vec::new();
     if in_any(&[
         "crates/core/src/",
+        "crates/trace/src/",
         "crates/runtime/src/",
         "crates/awc/src/",
         "crates/dba/src/",
@@ -121,6 +122,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     }
     if in_any(&[
         "crates/core/src/",
+        "crates/trace/src/",
         "crates/runtime/src/",
         "crates/awc/src/",
         "crates/dba/src/",
@@ -136,6 +138,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     }
     if p.starts_with("crates/runtime/src/")
         || (p.starts_with("crates/net/src/") && p != "crates/net/src/main.rs")
+        || (p.starts_with("crates/trace/src/") && p != "crates/trace/src/main.rs")
         || p == "crates/awc/src/agent.rs"
         || p == "crates/awc/src/abt.rs"
         || p == "crates/dba/src/agent.rs"
@@ -681,6 +684,14 @@ mod tests {
             vec![Rule::D1, Rule::D2, Rule::P1]
         );
         assert_eq!(rules_for("crates/net/src/main.rs"), vec![Rule::D1, Rule::D2]);
+        // The trace crate is a metrics auditor: determinism- and
+        // panic-policed like the runtime, with the same main.rs carve-out
+        // for the CLI's loud exits.
+        assert_eq!(
+            rules_for("crates/trace/src/audit.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
+        assert_eq!(rules_for("crates/trace/src/main.rs"), vec![Rule::D1, Rule::D2]);
     }
 
     #[test]

@@ -14,15 +14,16 @@
 //!   same traffic, so a lossy run's fault counters replay bit-for-bit
 //!   from `(seed, policy)`.
 //!
-//! One measure exists only here: `maxcck` (the paper's sum over cycles
-//! of the per-cycle maximum of agents' nogood checks) is accumulated
-//! from the `Step` replies of each delivery wave, because the wave
-//! boundary is where "concurrent" is well defined.
+//! `maxcck` (the paper's sum over cycles of the per-cycle maximum of
+//! agents' nogood checks) is accumulated from the `Step` replies of
+//! each delivery wave, because the wave boundary is where "concurrent"
+//! is well defined — the same wave accounting as `run_virtual`.
 
 use std::net::TcpListener;
 
 use discsp_core::{Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome, Wire};
 use discsp_runtime::{AgentStats, Classify, Router};
+use discsp_trace::{canonical_sort, RuntimeKind, TraceEvent, TraceSink};
 
 use crate::frame::{RunFrame, SetupFrame};
 use crate::topology::AgentSlice;
@@ -30,9 +31,10 @@ use crate::transport::{accept_agents, FrameConn};
 use crate::{NetConfig, NetError};
 
 /// What a networked session reports, mirroring
-/// [`VirtualReport`](discsp_runtime::VirtualReport) minus the trace
-/// (fault traces stay coordinator-side; re-run `run_virtual` with the
-/// same `(seed, policy)` to inspect one).
+/// [`VirtualReport`](discsp_runtime::VirtualReport), event trace
+/// included: the coordinator records the router's link-level events,
+/// each endpoint ships its per-step events home in `Final`, and the
+/// merged, canonically sorted stream lands in [`NetReport::trace`].
 #[derive(Debug, Clone)]
 pub struct NetReport {
     /// Metrics and (for solved runs) the solution.
@@ -43,6 +45,9 @@ pub struct NetReport {
     pub activations: u64,
     /// Stall-triggered recovery passes consumed.
     pub nudges: u64,
+    /// The session's merged event trace, empty unless
+    /// [`NetConfig::record_trace`](crate::NetConfig) is set.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// One `Step` reply, already unpacked and sanity-checked.
@@ -139,6 +144,7 @@ where
             n_agents: n as u32,
             seed: config.seed,
             policy: config.link,
+            record_trace: config.record_trace,
             slice,
         })?;
         *slot = Some(conn);
@@ -152,7 +158,7 @@ where
     }
 
     // --- Session: the run_virtual loop, over sockets. ----------------
-    let mut net: Router<M> = Router::new(n, config.link, config.seed, false);
+    let mut net: Router<M> = Router::new(n, config.link, config.seed, config.record_trace);
     let mut metrics = RunMetrics::new(Termination::CutOff);
     let mut snapshot = Assignment::empty(problem.num_vars());
     let mut activations: u64 = 0;
@@ -183,6 +189,7 @@ where
         }
     }
     metrics.maxcck += start_max;
+    net.sink().record(TraceEvent::CycleBarrier { cycle: 0 });
 
     loop {
         if insoluble {
@@ -209,7 +216,7 @@ where
             tick += 1;
             net.flush_parked(tick);
             for conn in conns.iter_mut() {
-                conn.send(&RunFrame::<M>::Nudge)?;
+                conn.send(&RunFrame::<M>::Nudge { tick })?;
             }
             let mut wave_max: u64 = 0;
             for index in 0..n {
@@ -224,6 +231,7 @@ where
                 }
             }
             metrics.maxcck += wave_max;
+            net.sink().record(TraceEvent::CycleBarrier { cycle: tick });
             if net.is_quiescent() {
                 // Nothing retransmitted and nobody re-announced: the
                 // stall is permanent.
@@ -245,6 +253,7 @@ where
             net.take_due(due, tick).into_iter().collect();
         for (recipient, inbox) in &batches {
             conn_at(&mut conns, *recipient)?.send(&RunFrame::Deliver {
+                tick,
                 msgs: inbox.clone(),
             })?;
         }
@@ -263,6 +272,7 @@ where
             }
         }
         metrics.maxcck += wave_max;
+        net.sink().record(TraceEvent::CycleBarrier { cycle: tick });
     }
 
     // --- Teardown: collect every agent's statistics. ------------------
@@ -270,13 +280,25 @@ where
         conn.send(&RunFrame::<M>::Stop)?;
     }
     let mut stats = AgentStats::default();
+    let mut agent_events: Vec<TraceEvent> = Vec::new();
     for index in 0..n {
         match conn_at(&mut conns, index)?.recv::<RunFrame<M>>() {
             Ok(RunFrame::Final {
                 stats: agent_stats,
                 leftover_checks,
+                trace,
             }) => {
                 metrics.total_checks += leftover_checks;
+                if leftover_checks > 0 && config.record_trace {
+                    // Mirror run_virtual's final sweep: leftover checks
+                    // appear in the trace so the audit's total matches.
+                    agent_events.push(TraceEvent::AgentStep {
+                        cycle: tick,
+                        agent: discsp_core::AgentId::new(index as u32),
+                        checks: leftover_checks,
+                    });
+                }
+                agent_events.extend(trace);
                 stats.absorb(agent_stats);
             }
             Ok(_) => return Err(NetError::UnexpectedFrame { expected: "Final" }),
@@ -307,6 +329,22 @@ where
     metrics.messages_retransmitted = stats.messages_retransmitted;
     metrics.max_delivery_delay = stats.max_delivery_delay;
 
+    let trace = if config.record_trace {
+        let mut trace = net.take_trace();
+        trace.extend(agent_events);
+        canonical_sort(&mut trace);
+        let in_flight = net.queued();
+        trace.push(TraceEvent::RunEnd {
+            cycle: metrics.cycles,
+            runtime: RuntimeKind::Net,
+            in_flight,
+            metrics: metrics.clone(),
+        });
+        trace
+    } else {
+        Vec::new()
+    };
+
     let solution = if termination == Termination::Solved {
         Some(snapshot)
     } else {
@@ -317,5 +355,6 @@ where
         ticks: tick,
         activations,
         nudges,
+        trace,
     })
 }

@@ -17,7 +17,7 @@ use std::time::Duration;
 use discsp_awc::AwcAgent;
 use discsp_core::Wire;
 use discsp_dba::DbaAgent;
-use discsp_runtime::{DistributedAgent, Outbox};
+use discsp_runtime::{DistributedAgent, Outbox, RingBuffer, StepRecorder};
 
 use crate::frame::{RunFrame, SetupFrame};
 use crate::topology::AlgoSpec;
@@ -42,8 +42,12 @@ pub fn run_agent(addr: SocketAddr, index: u32, io_timeout: Duration) -> Result<(
     let stream = connect_with_retry(addr, CONNECT_ATTEMPTS, CONNECT_BACKOFF)?;
     let mut conn = FrameConn::new(stream, io_timeout)?;
     conn.send(&SetupFrame::Hello { index })?;
-    let slice = match conn.recv::<SetupFrame>()? {
-        SetupFrame::Assign { slice, .. } => slice,
+    let (slice, record_trace) = match conn.recv::<SetupFrame>()? {
+        SetupFrame::Assign {
+            slice,
+            record_trace,
+            ..
+        } => (slice, record_trace),
         SetupFrame::Hello { .. } => return Err(NetError::UnexpectedFrame { expected: "Assign" }),
     };
     // The codec already rejects out-of-domain initial values, but the
@@ -63,7 +67,7 @@ pub fn run_agent(addr: SocketAddr, index: u32, io_timeout: Duration) -> Result<(
                 slice.neighbors,
                 config,
             );
-            serve(&mut conn, &mut agent)
+            serve(&mut conn, &mut agent, record_trace)
         }
         AlgoSpec::Dba(mode) => {
             let mut agent = DbaAgent::new(
@@ -75,28 +79,50 @@ pub fn run_agent(addr: SocketAddr, index: u32, io_timeout: Duration) -> Result<(
                 slice.neighbors,
                 mode,
             );
-            serve(&mut conn, &mut agent)
+            serve(&mut conn, &mut agent, record_trace)
         }
     }
 }
 
 /// Serves the run phase: one `Step` per `Start`/`Deliver`/`Nudge`, then
 /// `Final` on `Stop`.
-fn serve<A>(conn: &mut FrameConn, agent: &mut A) -> Result<(), NetError>
+///
+/// With `record_trace` on, the endpoint records its local per-step
+/// events (steps, value/priority changes, learned nogoods) timestamped
+/// with the coordinator's virtual tick, and ships them home inside the
+/// `Final` frame. Link-level events (`Sent`/`Delivered`/`Fault`) belong
+/// to the coordinator's router, never to an endpoint.
+fn serve<A>(conn: &mut FrameConn, agent: &mut A, record_trace: bool) -> Result<(), NetError>
 where
     A: DistributedAgent,
     A::Message: Wire,
 {
+    let mut sink = if record_trace {
+        RingBuffer::new()
+    } else {
+        RingBuffer::disabled()
+    };
+    let mut recorder = StepRecorder::new();
     loop {
         let mut out = Outbox::new(agent.id());
-        match conn.recv::<RunFrame<A::Message>>()? {
-            RunFrame::Start => agent.on_start(&mut out),
-            RunFrame::Deliver { msgs } => agent.on_batch(msgs, &mut out),
-            RunFrame::Nudge => agent.on_nudge(&mut out),
+        let tick = match conn.recv::<RunFrame<A::Message>>()? {
+            RunFrame::Start => {
+                agent.on_start(&mut out);
+                0
+            }
+            RunFrame::Deliver { tick, msgs } => {
+                agent.on_batch(msgs, &mut out);
+                tick
+            }
+            RunFrame::Nudge { tick } => {
+                agent.on_nudge(&mut out);
+                tick
+            }
             RunFrame::Stop => {
                 conn.send(&RunFrame::<A::Message>::Final {
                     stats: agent.stats(),
                     leftover_checks: agent.take_checks(),
+                    trace: sink.take(),
                 })?;
                 return Ok(());
             }
@@ -105,10 +131,14 @@ where
                     expected: "Start, Deliver, Nudge, or Stop",
                 })
             }
-        }
+        };
+        // One drain serves both the Step reply and the trace: draining
+        // twice would charge the checks to the wrong wave.
+        let checks = agent.take_checks();
+        recorder.record_step(agent, tick, checks, &mut sink);
         conn.send(&RunFrame::Step {
             out: out.drain(),
-            checks: agent.take_checks(),
+            checks,
             assignments: agent.assignments(),
             insoluble: agent.detected_insoluble(),
         })?;

@@ -19,12 +19,15 @@
 
 use discsp_core::{VarValue, Wire, WireError, WireReader};
 use discsp_runtime::{AgentStats, Envelope, LinkPolicy};
+use discsp_trace::TraceEvent;
 
 use crate::topology::AgentSlice;
 
 /// Version byte carried by every frame. Bump on any incompatible change
 /// to a frame layout or to the encoding of a type inside one.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added `record_trace` to `Assign`, the virtual tick to
+/// `Deliver`/`Nudge`, and the agent's event trace to `Final`.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on one frame's encoded body, enforced on both send and
 /// receive: a corrupt length prefix must not provoke a gigabyte
@@ -65,6 +68,9 @@ pub enum SetupFrame {
         seed: u64,
         /// The link fault policy in force on the relay path.
         policy: LinkPolicy,
+        /// Whether the agent should record its local event trace and
+        /// ship it home in `Final`.
+        record_trace: bool,
         /// This agent's slice of the problem.
         slice: AgentSlice,
     },
@@ -81,12 +87,14 @@ impl Wire for SetupFrame {
                 n_agents,
                 seed,
                 policy,
+                record_trace,
                 slice,
             } => {
                 encode_header(1, out);
                 n_agents.encode(out);
                 seed.encode(out);
                 policy.encode(out);
+                record_trace.encode(out);
                 slice.encode(out);
             }
         }
@@ -101,11 +109,13 @@ impl Wire for SetupFrame {
                 let n_agents = r.u32("SetupFrame.Assign.n_agents")?;
                 let seed = r.u64("SetupFrame.Assign.seed")?;
                 let policy = LinkPolicy::decode(r)?;
+                let record_trace = bool::decode(r)?;
                 let slice = AgentSlice::decode(r)?;
                 Ok(SetupFrame::Assign {
                     n_agents,
                     seed,
                     policy,
+                    record_trace,
                     slice,
                 })
             }
@@ -124,12 +134,18 @@ pub enum RunFrame<M> {
     Start,
     /// Coordinator → agent: a batch of messages due this virtual tick.
     Deliver {
+        /// The virtual tick the batch is delivered at, so the agent can
+        /// timestamp its trace events on the coordinator's clock.
+        tick: u64,
         /// The batch, in deterministic enqueue order.
         msgs: Vec<Envelope<M>>,
     },
     /// Coordinator → agent: the system stalled; re-announce your state
     /// so views staled by lost traffic heal.
-    Nudge,
+    Nudge {
+        /// The virtual tick of the recovery pass.
+        tick: u64,
+    },
     /// Agent → coordinator: the reply to `Start`/`Deliver`/`Nudge`.
     Step {
         /// Messages the agent sent this activation.
@@ -150,6 +166,11 @@ pub enum RunFrame<M> {
         stats: AgentStats,
         /// Checks performed since the last `Step` reply.
         leftover_checks: u64,
+        /// The agent's local event stream (steps, value/priority
+        /// changes, learned nogoods), empty unless `Assign` requested
+        /// recording. The coordinator merges it with the router's
+        /// link-level events into the session trace.
+        trace: Vec<TraceEvent>,
     },
 }
 
@@ -157,11 +178,15 @@ impl<M: Wire> Wire for RunFrame<M> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             RunFrame::Start => encode_header(2, out),
-            RunFrame::Deliver { msgs } => {
+            RunFrame::Deliver { tick, msgs } => {
                 encode_header(3, out);
+                tick.encode(out);
                 msgs.encode(out);
             }
-            RunFrame::Nudge => encode_header(4, out),
+            RunFrame::Nudge { tick } => {
+                encode_header(4, out);
+                tick.encode(out);
+            }
             RunFrame::Step {
                 out: sent,
                 checks,
@@ -178,10 +203,12 @@ impl<M: Wire> Wire for RunFrame<M> {
             RunFrame::Final {
                 stats,
                 leftover_checks,
+                trace,
             } => {
                 encode_header(7, out);
                 stats.encode(out);
                 leftover_checks.encode(out);
+                trace.encode(out);
             }
         }
     }
@@ -190,9 +217,12 @@ impl<M: Wire> Wire for RunFrame<M> {
         match decode_header(r, "RunFrame")? {
             2 => Ok(RunFrame::Start),
             3 => Ok(RunFrame::Deliver {
+                tick: r.u64("RunFrame.Deliver.tick")?,
                 msgs: Vec::<Envelope<M>>::decode(r)?,
             }),
-            4 => Ok(RunFrame::Nudge),
+            4 => Ok(RunFrame::Nudge {
+                tick: r.u64("RunFrame.Nudge.tick")?,
+            }),
             5 => {
                 let out = Vec::<Envelope<M>>::decode(r)?;
                 let checks = r.u64("RunFrame.Step.checks")?;
@@ -209,9 +239,11 @@ impl<M: Wire> Wire for RunFrame<M> {
             7 => {
                 let stats = AgentStats::decode(r)?;
                 let leftover_checks = r.u64("RunFrame.Final.leftover_checks")?;
+                let trace = Vec::<TraceEvent>::decode(r)?;
                 Ok(RunFrame::Final {
                     stats,
                     leftover_checks,
+                    trace,
                 })
             }
             tag => Err(WireError::BadTag {
@@ -245,9 +277,10 @@ mod tests {
         let frames: Vec<RunFrame<AwcMessage>> = vec![
             RunFrame::Start,
             RunFrame::Deliver {
+                tick: 12,
                 msgs: vec![env(0, 1), env(2, 1)],
             },
-            RunFrame::Nudge,
+            RunFrame::Nudge { tick: 13 },
             RunFrame::Step {
                 out: vec![env(1, 0)],
                 checks: 17,
@@ -258,6 +291,11 @@ mod tests {
             RunFrame::Final {
                 stats: AgentStats::default(),
                 leftover_checks: 3,
+                trace: vec![discsp_trace::TraceEvent::AgentStep {
+                    cycle: 12,
+                    agent: AgentId::new(1),
+                    checks: 17,
+                }],
             },
         ];
         for frame in frames {

@@ -73,6 +73,11 @@ pub struct NetConfig {
     /// requiring the relay queue to drain (forced on for distributed
     /// breakout, whose waves never go quiet).
     pub stop_on_first_solution: bool,
+    /// Record the session's event trace: the router's link-level events
+    /// on the coordinator plus each endpoint's per-step events (shipped
+    /// home in `Final` frames), merged into
+    /// [`NetReport::trace`](crate::NetReport).
+    pub record_trace: bool,
     /// How long the coordinator waits for all agents to connect and
     /// complete the handshake.
     pub handshake_timeout: Duration,
@@ -89,6 +94,7 @@ impl Default for NetConfig {
             max_ticks: 1_000_000,
             max_nudges: 64,
             stop_on_first_solution: false,
+            record_trace: false,
             handshake_timeout: Duration::from_secs(30),
             io_timeout: Duration::from_secs(30),
         }

@@ -11,6 +11,7 @@ use discsp_core::{Assignment, DistributedCsp, Domain, RunMetrics, Termination, V
 use discsp_dba::{DbaSolver, WeightMode};
 use discsp_net::{AgentLaunch, NetConfig, SolveNet};
 use discsp_runtime::{LinkPolicy, VirtualConfig};
+use discsp_trace::{audit, canonical_sort, TraceEvent};
 
 fn agent_binary() -> AgentLaunch {
     AgentLaunch::Processes {
@@ -46,12 +47,13 @@ fn assert_identity(m: &RunMetrics) {
     );
 }
 
-/// Every field of the virtual and networked runs must agree except
-/// `maxcck`, which only the networked coordinator computes (the virtual
-/// executor has no per-wave concurrency boundary and leaves it zero).
+/// Every field of the virtual and networked runs must agree, `maxcck`
+/// included: both executors accumulate it at the same wave boundaries
+/// from the same check counts.
 fn assert_metrics_match(net: &RunMetrics, virt: &RunMetrics) {
     assert_eq!(net.termination, virt.termination, "termination");
     assert_eq!(net.cycles, virt.cycles, "cycles");
+    assert_eq!(net.maxcck, virt.maxcck, "maxcck");
     assert_eq!(net.total_checks, virt.total_checks, "total_checks");
     assert_eq!(net.ok_messages, virt.ok_messages, "ok_messages");
     assert_eq!(net.nogood_messages, virt.nogood_messages, "nogood_messages");
@@ -68,7 +70,6 @@ fn assert_metrics_match(net: &RunMetrics, virt: &RunMetrics) {
         "messages_retransmitted"
     );
     assert_eq!(net.max_delivery_delay, virt.max_delivery_delay, "max_delivery_delay");
-    assert_eq!(virt.maxcck, 0, "virtual runtime leaves maxcck unset");
 }
 
 #[test]
@@ -151,6 +152,73 @@ fn lossy_processes_replay_bit_identical_fault_counters() {
         )
         .expect("virtual lossy run");
     assert_metrics_match(a, &virt.outcome.metrics);
+}
+
+#[test]
+fn lossy_net_trace_matches_virtual_trace_and_passes_audit() {
+    let n = 5;
+    let problem = ring(n);
+    let init = all_zero(n);
+    let solver = AwcSolver::new(AwcConfig::resolvent());
+    let policy = LinkPolicy::lossy(250_000)
+        .with_duplication(80_000)
+        .with_delay(0, 2)
+        .with_reordering(2);
+
+    let net_report = solver
+        .solve_net(
+            &problem,
+            &init,
+            &NetConfig {
+                seed: 2026,
+                link: policy,
+                record_trace: true,
+                ..NetConfig::default()
+            },
+            &AgentLaunch::Threads,
+        )
+        .expect("networked lossy run");
+    let virt_report = solver
+        .solve_virtual(
+            &problem,
+            &init,
+            &VirtualConfig {
+                seed: 2026,
+                link: policy,
+                record_trace: true,
+                ..VirtualConfig::default()
+            },
+        )
+        .expect("virtual lossy run");
+
+    // Both traces must independently reproduce their own metrics.
+    let net_audit = audit(&net_report.trace).expect("net trace audits");
+    assert!(net_audit.passed(), "net audit failed: {:?}", net_audit.failures);
+    assert_eq!(net_audit.metrics, net_report.outcome.metrics);
+    let virt_audit = audit(&virt_report.trace).expect("virtual trace audits");
+    assert!(
+        virt_audit.passed(),
+        "virtual audit failed: {:?}",
+        virt_audit.failures
+    );
+    assert_eq!(virt_audit.metrics, virt_report.outcome.metrics);
+
+    // And the two event streams are identical modulo the RunEnd stamp
+    // (whose runtime kind necessarily differs).
+    let strip = |trace: &[TraceEvent]| -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = trace
+            .iter()
+            .filter(|e| !matches!(e, TraceEvent::RunEnd { .. }))
+            .cloned()
+            .collect();
+        canonical_sort(&mut events);
+        events
+    };
+    assert_eq!(
+        strip(&net_report.trace),
+        strip(&virt_report.trace),
+        "same (seed, policy) must produce the same event stream across the process boundary"
+    );
 }
 
 #[test]

@@ -10,6 +10,7 @@ use discsp_core::{
 use discsp_dba::{DbaMessage, WeightMode};
 use discsp_net::{AgentSlice, AlgoSpec, RunFrame, SetupFrame, WIRE_VERSION};
 use discsp_runtime::{AgentStats, Envelope, LinkPolicy, SplitMix64};
+use discsp_trace::TraceEvent;
 
 const TRIALS: u64 = 200;
 
@@ -140,6 +141,32 @@ fn gen_stats(rng: &mut SplitMix64) -> AgentStats {
     }
 }
 
+fn gen_trace(rng: &mut SplitMix64) -> Vec<TraceEvent> {
+    (0..rng.next_below(4))
+        .map(|_| match rng.next_below(3) {
+            0 => TraceEvent::AgentStep {
+                cycle: rng.next_below(1000),
+                agent: AgentId::new(rng.next_below(64) as u32),
+                checks: rng.next_below(1 << 20),
+            },
+            1 => TraceEvent::NogoodLearned {
+                cycle: rng.next_below(1000),
+                agent: AgentId::new(rng.next_below(64) as u32),
+                size: rng.next_below(32),
+            },
+            _ => TraceEvent::ValueChanged {
+                cycle: rng.next_below(1000),
+                var: VariableId::new(rng.next_below(64) as u32),
+                old: match rng.next_below(2) {
+                    0 => None,
+                    _ => Some(gen_value(rng, 8)),
+                },
+                new: gen_value(rng, 8),
+            },
+        })
+        .collect()
+}
+
 fn gen_setup_frame(rng: &mut SplitMix64) -> SetupFrame {
     match rng.next_below(2) {
         0 => SetupFrame::Hello {
@@ -149,6 +176,7 @@ fn gen_setup_frame(rng: &mut SplitMix64) -> SetupFrame {
             n_agents: 1 + rng.next_below(64) as u32,
             seed: rng.next_u64(),
             policy: gen_policy(rng),
+            record_trace: rng.next_below(2) == 0,
             slice: gen_slice(rng),
         },
     }
@@ -158,6 +186,7 @@ fn gen_awc_run_frame(rng: &mut SplitMix64) -> RunFrame<AwcMessage> {
     match rng.next_below(6) {
         0 => RunFrame::Start,
         1 => RunFrame::Deliver {
+            tick: rng.next_below(1 << 20),
             msgs: (0..rng.next_below(6))
                 .map(|_| {
                     let payload = gen_awc_message(rng);
@@ -165,7 +194,9 @@ fn gen_awc_run_frame(rng: &mut SplitMix64) -> RunFrame<AwcMessage> {
                 })
                 .collect(),
         },
-        2 => RunFrame::Nudge,
+        2 => RunFrame::Nudge {
+            tick: rng.next_below(1 << 20),
+        },
         3 => RunFrame::Step {
             out: (0..rng.next_below(6))
                 .map(|_| {
@@ -181,6 +212,7 @@ fn gen_awc_run_frame(rng: &mut SplitMix64) -> RunFrame<AwcMessage> {
         _ => RunFrame::Final {
             stats: gen_stats(rng),
             leftover_checks: rng.next_below(1 << 20),
+            trace: gen_trace(rng),
         },
     }
 }
@@ -188,6 +220,7 @@ fn gen_awc_run_frame(rng: &mut SplitMix64) -> RunFrame<AwcMessage> {
 fn gen_dba_run_frame(rng: &mut SplitMix64) -> RunFrame<DbaMessage> {
     match rng.next_below(4) {
         0 => RunFrame::Deliver {
+            tick: rng.next_below(1 << 20),
             msgs: (0..rng.next_below(6))
                 .map(|_| {
                     let payload = gen_dba_message(rng);
@@ -210,6 +243,7 @@ fn gen_dba_run_frame(rng: &mut SplitMix64) -> RunFrame<DbaMessage> {
         _ => RunFrame::Final {
             stats: gen_stats(rng),
             leftover_checks: rng.next_below(1 << 20),
+            trace: gen_trace(rng),
         },
     }
 }
@@ -284,6 +318,7 @@ fn truncation_errors_are_typed_not_panics() {
         n_agents: 5,
         seed: 99,
         policy: gen_policy(&mut rng),
+        record_trace: true,
         slice: gen_slice(&mut rng),
     };
     let bytes = frame.to_bytes();

@@ -107,6 +107,21 @@ impl AgentStats {
     }
 }
 
+/// A noteworthy agent-local event surfaced to the trace pipeline.
+///
+/// Agents accumulate notes during a step; the runtimes drain them via
+/// [`DistributedAgent::drain_notes`] right after each activation and
+/// convert them to trace events. Runtimes drain unconditionally (even
+/// with tracing off) so the backlog cannot grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentNote {
+    /// The agent generated a new nogood of `size` elements.
+    NogoodLearned {
+        /// Element count of the learned nogood.
+        size: u64,
+    },
+}
+
 /// A message-driven DisCSP agent, executable on either runtime.
 ///
 /// The contract mirrors the paper's synchronous cycle (§4): the runtime
@@ -152,6 +167,20 @@ pub trait DistributedAgent {
     /// that already tolerate silence need no refresh.
     fn on_nudge(&mut self, out: &mut Outbox<Self::Message>) {
         let _ = out;
+    }
+
+    /// The agent's current priority, if the algorithm has one (AWC's
+    /// dynamic ordering). Used by the shared step recorder to emit
+    /// `PriorityChanged` trace events; `None` disables them.
+    fn current_priority(&self) -> Option<u64> {
+        None
+    }
+
+    /// Takes the notes accumulated since the last call (learned nogoods,
+    /// …). The default returns nothing — algorithms without noteworthy
+    /// local events need not implement it.
+    fn drain_notes(&mut self) -> Vec<AgentNote> {
+        Vec::new()
     }
 }
 

@@ -31,12 +31,14 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use discsp_core::{AgentId, Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome};
+use discsp_trace::{canonical_sort, FaultKind, RingBuffer, RuntimeKind, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 
 use crate::agent::{AgentStats, DistributedAgent, Outbox};
 use crate::error::RuntimeError;
 use crate::link::{derive_link_seed, Link, LinkPolicy, LinkStats};
 use crate::message::{Classify, Envelope, MessageClass};
+use crate::recorder::StepRecorder;
 use crate::seed::SplitMix64;
 
 /// Configuration of an asynchronous run.
@@ -62,6 +64,10 @@ pub struct AsyncConfig {
     /// cutoff. Irrelevant with perfect links (a quiescent non-solution is
     /// then immediately final).
     pub max_nudges: u64,
+    /// Record each worker's deliveries, sends, faults, and agent steps
+    /// into [`AsyncReport::trace`] (merged and canonically sorted at
+    /// join time). Event cycles are coarse virtual-clock stamps.
+    pub record_trace: bool,
 }
 
 impl Default for AsyncConfig {
@@ -73,6 +79,7 @@ impl Default for AsyncConfig {
             stop_on_first_solution: false,
             link: LinkPolicy::perfect(),
             max_nudges: 64,
+            record_trace: false,
         }
     }
 }
@@ -93,6 +100,9 @@ pub struct AsyncReport {
     pub quiescent: bool,
     /// Stall-triggered recovery passes consumed.
     pub nudges: u64,
+    /// Merged per-worker event log, canonically sorted and sealed with a
+    /// `RunEnd`; empty unless [`AsyncConfig::record_trace`] was set.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// A routed message plus the virtual tick before which it must not be
@@ -222,17 +232,34 @@ where
                 )
             })
             .collect();
+        let record = config.record_trace;
         handles.push(thread::spawn(move || {
             let _sentinel = PanicSentinel {
                 shared: &shared,
                 id: from,
             };
-            worker(&mut agent, rx, &senders, &shared, jitter, &mut rng, &mut links);
+            let mut sink = if record {
+                RingBuffer::new()
+            } else {
+                RingBuffer::disabled()
+            };
+            let mut checks_total: u64 = 0;
+            worker(
+                &mut agent,
+                rx,
+                &senders,
+                &shared,
+                jitter,
+                &mut rng,
+                &mut links,
+                &mut sink,
+                &mut checks_total,
+            );
             let mut faults = LinkStats::default();
             for link in &links {
                 faults.absorb(link.stats);
             }
-            (agent, faults)
+            (agent, faults, checks_total, sink.take())
         }));
     }
 
@@ -309,14 +336,32 @@ where
     let mut metrics = RunMetrics::new(termination);
     let mut agent_stats = AgentStats::default();
     let mut link_totals = LinkStats::default();
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let final_tick = shared.tick.load(Ordering::SeqCst);
     for (position, handle) in handles.into_iter().enumerate() {
         // Join every thread even after a failure: a panic poisons one
         // agent's channel, not the process. The first failure wins.
         match handle.join() {
-            Ok((mut agent, faults)) => {
-                metrics.total_checks += agent.take_checks();
+            Ok((mut agent, faults, checks_total, events)) => {
+                metrics.total_checks += checks_total;
+                // Checks the worker never got to stamp on a step (an
+                // activation interrupted by shutdown) still count; give
+                // them a final step event so the trace sums to
+                // `total_checks`.
+                let leftover = agent.take_checks();
+                if leftover > 0 {
+                    metrics.total_checks += leftover;
+                    if config.record_trace {
+                        trace.push(TraceEvent::AgentStep {
+                            cycle: final_tick,
+                            agent: agent.id(),
+                            checks: leftover,
+                        });
+                    }
+                }
                 agent_stats.absorb(agent.stats());
                 link_totals.absorb(faults);
+                trace.extend(events);
             }
             Err(_) => {
                 if error.is_none() {
@@ -352,12 +397,23 @@ where
     let quiescent = shared.in_flight.load(Ordering::SeqCst) == 0
         && shared.pending_retransmits.load(Ordering::SeqCst) == 0;
 
+    if config.record_trace {
+        canonical_sort(&mut trace);
+        trace.push(TraceEvent::RunEnd {
+            cycle: metrics.cycles,
+            runtime: RuntimeKind::Async,
+            in_flight: shared.in_flight.load(Ordering::SeqCst).max(0) as u64,
+            metrics: metrics.clone(),
+        });
+    }
+
     Ok(AsyncReport {
         outcome: TrialOutcome { metrics, solution },
         wall_time: start.elapsed(),
         activations: shared.activations.load(Ordering::SeqCst),
         quiescent,
         nudges,
+        trace,
     })
 }
 
@@ -370,17 +426,23 @@ fn worker<A: DistributedAgent>(
     jitter_micros: u64,
     rng: &mut SplitMix64,
     links: &mut [Link],
+    sink: &mut RingBuffer,
+    checks_total: &mut u64,
 ) {
     let mut parked: Vec<Envelope<A::Message>> = Vec::new();
     let mut held: Vec<Timed<A::Message>> = Vec::new();
     let mut seen_epoch: u64 = 0;
+    let mut recorder = StepRecorder::new();
 
     // Start: announce initial values before reporting "started", so that
     // quiescence cannot be observed before the initial wave is in flight.
     let mut out = Outbox::new(agent.id());
     agent.on_start(&mut out);
-    dispatch(out, links, &mut parked, senders, shared);
+    dispatch(out, links, &mut parked, senders, shared, sink);
     publish(agent, shared);
+    let checks = agent.take_checks();
+    *checks_total += checks;
+    recorder.record_step(agent, shared.tick.load(Ordering::SeqCst), checks, sink);
     shared.activations.fetch_add(1, Ordering::SeqCst);
     shared.started.fetch_add(1, Ordering::SeqCst);
     if agent.detected_insoluble() {
@@ -398,11 +460,14 @@ fn worker<A: DistributedAgent>(
         let epoch = shared.nudge_epoch.load(Ordering::SeqCst);
         if epoch > seen_epoch {
             seen_epoch = epoch;
-            flush_parked(&mut parked, links, senders, shared);
+            flush_parked(&mut parked, links, senders, shared, sink);
             let mut out = Outbox::new(agent.id());
             agent.on_nudge(&mut out);
-            dispatch(out, links, &mut parked, senders, shared);
+            dispatch(out, links, &mut parked, senders, shared, sink);
             publish(agent, shared);
+            let checks = agent.take_checks();
+            *checks_total += checks;
+            recorder.record_step(agent, shared.tick.load(Ordering::SeqCst), checks, sink);
             shared.nudge_acks.fetch_add(1, Ordering::SeqCst);
         }
 
@@ -448,13 +513,26 @@ fn worker<A: DistributedAgent>(
             let delay = rng.next_below(jitter_micros);
             thread::sleep(Duration::from_micros(delay));
         }
+        if sink.enabled() {
+            for env in &ready {
+                sink.record(TraceEvent::Delivered {
+                    cycle: now,
+                    from: env.from,
+                    to: env.to,
+                    class: env.payload.class(),
+                });
+            }
+        }
         let consumed = ready.len() as i64;
         let mut out = Outbox::new(agent.id());
         agent.on_batch(ready, &mut out);
         // Enqueue reactions BEFORE decrementing what we consumed: in-flight
         // can only reach zero when the whole causal chain has drained.
-        dispatch(out, links, &mut parked, senders, shared);
+        dispatch(out, links, &mut parked, senders, shared, sink);
         publish(agent, shared);
+        let checks = agent.take_checks();
+        *checks_total += checks;
+        recorder.record_step(agent, now, checks, sink);
         shared.activations.fetch_add(1, Ordering::SeqCst);
         shared.in_flight.fetch_sub(consumed, Ordering::SeqCst);
         if agent.detected_insoluble() {
@@ -484,6 +562,7 @@ fn dispatch<M: Classify + Clone>(
     parked: &mut Vec<Envelope<M>>,
     senders: &[Sender<Timed<M>>],
     shared: &Shared,
+    sink: &mut RingBuffer,
 ) {
     let msgs = out.drain();
     shared
@@ -505,6 +584,23 @@ fn dispatch<M: Classify + Clone>(
             continue;
         };
         let decision = link.route(now);
+        if sink.enabled() {
+            sink.record(TraceEvent::Sent {
+                cycle: now,
+                from: env.from,
+                to: env.to,
+                class: env.payload.class(),
+            });
+            for &kind in &decision.faults {
+                sink.record(TraceEvent::Fault {
+                    cycle: now,
+                    from: env.from,
+                    to: env.to,
+                    class: env.payload.class(),
+                    kind,
+                });
+            }
+        }
         if decision.deliveries.is_empty() {
             // Dropped: decrement at the drop point and park for the
             // stall-triggered recovery pass.
@@ -550,6 +646,7 @@ fn flush_parked<M: Classify + Clone>(
     links: &mut [Link],
     senders: &[Sender<Timed<M>>],
     shared: &Shared,
+    sink: &mut RingBuffer,
 ) {
     if parked.is_empty() {
         return;
@@ -563,7 +660,25 @@ fn flush_parked<M: Classify + Clone>(
         let (Some(sender), Some(link)) = (senders.get(to), links.get_mut(to)) else {
             continue;
         };
-        let due = link.redeliver(now);
+        let (due, faults) = link.redeliver(now);
+        if sink.enabled() {
+            sink.record(TraceEvent::Fault {
+                cycle: now,
+                from: env.from,
+                to: env.to,
+                class: env.payload.class(),
+                kind: FaultKind::Retransmitted,
+            });
+            for kind in faults {
+                sink.record(TraceEvent::Fault {
+                    cycle: now,
+                    from: env.from,
+                    to: env.to,
+                    class: env.payload.class(),
+                    kind,
+                });
+            }
+        }
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let class = env.payload.class();
         if sender.send(Timed { due, env }).is_ok() {
@@ -753,6 +868,38 @@ mod tests {
                 + m.messages_duplicated
                 + m.messages_retransmitted,
         );
+    }
+
+    #[test]
+    fn async_lossy_run_surfaces_an_auditable_trace() {
+        // Regression: the threaded runtime used to record nothing at all —
+        // `AsyncReport` had no trace field — so lossy async failures could
+        // not be inspected. A seeded lossy run must now surface a
+        // non-empty trace that passes the accounting audit.
+        let problem = all_true_problem(4);
+        let config = AsyncConfig {
+            link: LinkPolicy::lossy(300_000).with_delay(0, 2),
+            seed: 9,
+            record_trace: true,
+            max_wall_time: Duration::from_secs(60),
+            ..AsyncConfig::default()
+        };
+        let report = run_async(ring(4), &problem, &config).expect("runs");
+        assert!(
+            !report.trace.is_empty(),
+            "async runs must surface their trace"
+        );
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, discsp_trace::TraceEvent::Sent { .. })));
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, discsp_trace::TraceEvent::Delivered { .. })));
+        let audit = discsp_trace::audit(&report.trace).expect("trace is sealed by RunEnd");
+        assert!(audit.passed(), "audit failures: {:?}", audit.failures);
+        assert_eq!(audit.metrics, report.outcome.metrics);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!
 //! Plus deterministic seed derivation ([`SplitMix64`], [`derive_seed`])
 //! shared by the experiment harnesses.
+//!
+//! Every runtime records through the [`TraceSink`] pipeline from
+//! `discsp-trace` (re-exported here): the same event schema is emitted
+//! by all executors, so traces are schema-comparable across runtimes
+//! and auditable with `discsp-trace audit`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,21 +33,25 @@ mod asynchronous;
 mod error;
 mod link;
 mod message;
+mod recorder;
 mod router;
 mod seed;
 mod sync;
-mod trace;
 mod wire;
 
-pub use agent::{AgentStats, DistributedAgent, Outbox};
+pub use agent::{AgentNote, AgentStats, DistributedAgent, Outbox};
 pub use asynchronous::{run_async, AsyncConfig, AsyncReport};
+pub use discsp_trace::{
+    canonical_sort, render_trace, FaultKind, NullSink, RingBuffer, RuntimeKind, TraceEvent,
+    TraceSink,
+};
 pub use error::RuntimeError;
 pub use link::{
     derive_link_seed, run_virtual, Link, LinkPolicy, LinkStats, RouteDecision, VirtualConfig,
     VirtualReport, PPM,
 };
 pub use message::{Classify, Envelope, MessageClass};
+pub use recorder::StepRecorder;
 pub use router::Router;
 pub use seed::{derive_seed, SplitMix64};
 pub use sync::{CycleRecord, SyncRun, SyncSimulator};
-pub use trace::{render_trace, FaultKind, TraceEvent};

@@ -30,11 +30,13 @@ use discsp_core::{
 };
 use serde::{Deserialize, Serialize};
 
+use discsp_trace::{FaultKind, RuntimeKind, TraceEvent, TraceSink};
+
 use crate::agent::{AgentStats, DistributedAgent, Outbox};
 use crate::error::RuntimeError;
+use crate::recorder::StepRecorder;
 use crate::router::Router;
 use crate::seed::SplitMix64;
-use crate::trace::{FaultKind, TraceEvent};
 
 /// Probabilities are expressed in parts per million so the whole policy
 /// is integer-exact, `Eq`, and hashable-free of float edge cases.
@@ -295,8 +297,11 @@ impl Link {
     /// Assigns a due tick to a retransmitted (previously dropped)
     /// message. Retransmission bypasses the drop and duplication lottery
     /// — the recovery pass exists to guarantee eventual delivery — but
-    /// still pays the link's delay.
-    pub fn redeliver(&mut self, now: u64) -> u64 {
+    /// still pays the link's delay; the delay/reorder faults injected on
+    /// this second pass are returned so the caller can record them (the
+    /// counters already include them, and the trace must explain every
+    /// counter).
+    pub fn redeliver(&mut self, now: u64) -> (u64, Vec<FaultKind>) {
         self.stats.retransmitted += 1;
         let delay = if self.policy.is_perfect() {
             0
@@ -304,7 +309,8 @@ impl Link {
             self.base_delay()
         };
         let mut faults = Vec::new();
-        self.assign(now, delay, &mut faults)
+        let due = self.assign(now, delay, &mut faults);
+        (due, faults)
     }
 }
 
@@ -404,6 +410,7 @@ where
     }
     let n = agents.len();
     let mut net: Router<A::Message> = Router::new(n, config.link, config.seed, config.record_trace);
+    let mut recorder = StepRecorder::new();
 
     let mut metrics = RunMetrics::new(Termination::CutOff);
     let mut snapshot = Assignment::empty(problem.num_vars());
@@ -412,15 +419,25 @@ where
     let mut tick: u64 = 0;
     let termination;
 
-    // Tick 0: every agent announces its initial state.
+    // Tick 0: every agent announces its initial state. This is the first
+    // maxcck wave — the same accounting as the net coordinator's start
+    // wave, so the two runtimes report identical maxcck for identical
+    // traffic.
+    let mut start_max: u64 = 0;
     for agent in agents.iter_mut() {
         let mut out = Outbox::new(agent.id());
         agent.on_start(&mut out);
         activations += 1;
+        let checks = agent.take_checks();
+        metrics.total_checks += checks;
+        start_max = start_max.max(checks);
+        recorder.record_step(agent, 0, checks, net.sink());
         for env in out.drain() {
             net.route(0, env)?;
         }
     }
+    metrics.maxcck += start_max;
+    net.sink().record(TraceEvent::CycleBarrier { cycle: 0 });
     let mut insoluble = agents.iter().any(|a| a.detected_insoluble());
     for agent in agents.iter() {
         for vv in agent.assignments() {
@@ -451,13 +468,20 @@ where
             nudges += 1;
             tick += 1;
             net.flush_parked(tick);
+            let mut wave_max: u64 = 0;
             for agent in agents.iter_mut() {
                 let mut out = Outbox::new(agent.id());
                 agent.on_nudge(&mut out);
+                let checks = agent.take_checks();
+                metrics.total_checks += checks;
+                wave_max = wave_max.max(checks);
+                recorder.record_step(agent, tick, checks, net.sink());
                 for env in out.drain() {
                     net.route(tick, env)?;
                 }
             }
+            metrics.maxcck += wave_max;
+            net.sink().record(TraceEvent::CycleBarrier { cycle: tick });
             if net.is_quiescent() {
                 // Nothing to retransmit and nobody re-announced: the
                 // stall is permanent.
@@ -473,7 +497,9 @@ where
         tick = tick.max(due);
 
         // Deliver every message due this tick, batched per recipient in
-        // ascending (recipient, enqueue_seq) order.
+        // ascending (recipient, enqueue_seq) order. The wave is one
+        // maxcck accounting unit, closed by a cycle barrier.
+        let mut wave_max: u64 = 0;
         for (recipient, inbox) in net.take_due(due, tick) {
             let Some(agent) = agents.get_mut(recipient) else {
                 continue;
@@ -481,15 +507,20 @@ where
             let mut out = Outbox::new(agent.id());
             agent.on_batch(inbox, &mut out);
             activations += 1;
-            metrics.total_checks += agent.take_checks();
+            let checks = agent.take_checks();
+            metrics.total_checks += checks;
+            wave_max = wave_max.max(checks);
             for vv in agent.assignments() {
                 snapshot.set(vv.var, vv.value);
             }
             insoluble |= agent.detected_insoluble();
+            recorder.record_step(agent, tick, checks, net.sink());
             for env in out.drain() {
                 net.route(tick, env)?;
             }
         }
+        metrics.maxcck += wave_max;
+        net.sink().record(TraceEvent::CycleBarrier { cycle: tick });
     }
 
     metrics.termination = termination;
@@ -500,7 +531,18 @@ where
     metrics.other_messages = other;
     let mut stats = AgentStats::default();
     for agent in agents.iter_mut() {
-        metrics.total_checks += agent.take_checks();
+        // Per-step draining leaves this at zero for well-behaved agents;
+        // if an agent did checks outside an activation, surface them as
+        // a final step so the trace still sums to `total_checks`.
+        let leftover = agent.take_checks();
+        if leftover > 0 {
+            metrics.total_checks += leftover;
+            net.sink().record(TraceEvent::AgentStep {
+                cycle: tick,
+                agent: agent.id(),
+                checks: leftover,
+            });
+        }
         stats.absorb(agent.stats());
     }
     net.link_totals().fold_into(&mut stats);
@@ -513,6 +555,14 @@ where
     metrics.messages_reordered = stats.messages_reordered;
     metrics.messages_retransmitted = stats.messages_retransmitted;
     metrics.max_delivery_delay = stats.max_delivery_delay;
+
+    let in_flight = net.queued();
+    net.sink().record(TraceEvent::RunEnd {
+        cycle: metrics.cycles,
+        runtime: RuntimeKind::Virtual,
+        in_flight,
+        metrics: metrics.clone(),
+    });
 
     let solution = if termination == Termination::Solved {
         Some(snapshot)
@@ -615,9 +665,14 @@ mod tests {
     #[test]
     fn redelivery_counts_and_pays_delay() {
         let mut link = Link::new(LinkPolicy::delayed(2, 2), 1);
-        let due = link.redeliver(10);
+        let (due, faults) = link.redeliver(10);
         assert_eq!(due, 13, "base hop tick plus the fixed 2-tick delay");
         assert_eq!(link.stats.retransmitted, 1);
+        assert_eq!(
+            faults,
+            vec![FaultKind::Delayed(2)],
+            "the retransmission pass reports the delay it injected"
+        );
     }
 
     // -- run_virtual ------------------------------------------------------
@@ -813,6 +868,23 @@ mod tests {
             ))
             .count() as u64;
         assert_eq!(dropped, report.outcome.metrics.messages_dropped);
+    }
+
+    #[test]
+    fn virtual_trace_passes_the_audit() {
+        let problem = all_true_problem(5);
+        let config = VirtualConfig {
+            seed: 2,
+            link: LinkPolicy::lossy(300_000)
+                .with_delay(0, 2)
+                .with_duplication(50_000),
+            record_trace: true,
+            ..VirtualConfig::default()
+        };
+        let report = run_virtual(ring(5), &problem, &config).expect("runs");
+        let audit = discsp_trace::audit(&report.trace).expect("trace is sealed by RunEnd");
+        assert!(audit.passed(), "audit failures: {:?}", audit.failures);
+        assert_eq!(audit.metrics, report.outcome.metrics);
     }
 
     #[test]

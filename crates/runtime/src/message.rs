@@ -1,39 +1,14 @@
 //! Message envelopes and classification.
+//!
+//! [`MessageClass`] and [`Classify`] live in `discsp-core` (trace events
+//! carry a class, and the trace crate must not depend on a runtime);
+//! they are re-exported here so runtime users keep one import path.
 
 use std::fmt;
 
 use discsp_core::AgentId;
+pub use discsp_core::{Classify, MessageClass};
 use serde::{Deserialize, Serialize};
-
-/// Broad message classes, used by the runtimes to attribute message counts
-/// to the paper's categories (`ok?`, `nogood`, everything else).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum MessageClass {
-    /// An `ok?` message announcing a value (and priority).
-    Ok,
-    /// A `nogood` message carrying a learned nogood.
-    Nogood,
-    /// Any other algorithm message (`improve`, add-link requests, …).
-    Other,
-}
-
-impl fmt::Display for MessageClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            MessageClass::Ok => "ok?",
-            MessageClass::Nogood => "nogood",
-            MessageClass::Other => "other",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Implemented by algorithm message types so runtimes can meter traffic
-/// without knowing the concrete protocol.
-pub trait Classify {
-    /// The broad class of this message.
-    fn class(&self) -> MessageClass;
-}
 
 /// A routed message: payload plus sender and recipient.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -11,15 +11,23 @@
 //! streams are consumed identically and every fault counter replays
 //! bit-for-bit from `(seed, policy)` — whether the agents live in this
 //! process or behind a socket.
+//!
+//! The router also owns the link-layer half of the trace: it records
+//! `Sent` at the moment a message enters its link (mirroring the
+//! `sent` counter), `Fault` for every lottery outcome — including the
+//! delay/reorder faults injected on the *retransmission* path — and
+//! `Delivered` when a copy leaves the queue. Executors interleave their
+//! agent-step events into the same [`RingBuffer`] via [`Router::sink`],
+//! so one buffer holds the whole run in emission order.
 
 use std::collections::BTreeMap;
 
 use discsp_core::AgentId;
+use discsp_trace::{FaultKind, RingBuffer, TraceEvent, TraceSink};
 
 use crate::error::RuntimeError;
 use crate::link::{derive_link_seed, Link, LinkPolicy, LinkStats};
 use crate::message::{Classify, Envelope, MessageClass};
-use crate::trace::{FaultKind, TraceEvent};
 
 /// Deterministic routing/enqueue state: event queue, link matrix, parked
 /// drops, and message-class counters.
@@ -40,8 +48,7 @@ pub struct Router<M> {
     ok_messages: u64,
     nogood_messages: u64,
     other_messages: u64,
-    record_trace: bool,
-    trace: Vec<TraceEvent>,
+    sink: RingBuffer,
 }
 
 impl<M: Classify + Clone> Router<M> {
@@ -64,8 +71,11 @@ impl<M: Classify + Clone> Router<M> {
             ok_messages: 0,
             nogood_messages: 0,
             other_messages: 0,
-            record_trace,
-            trace: Vec::new(),
+            sink: if record_trace {
+                RingBuffer::new()
+            } else {
+                RingBuffer::disabled()
+            },
         }
     }
 
@@ -83,7 +93,9 @@ impl<M: Classify + Clone> Router<M> {
         self.seq += 1;
     }
 
-    /// Routes one freshly sent envelope through its link at time `now`.
+    /// Routes one freshly sent envelope through its link at time `now`,
+    /// recording a `Sent` trace event exactly where the link's `sent`
+    /// counter increments (unknown recipients error out before either).
     ///
     /// # Errors
     ///
@@ -98,9 +110,15 @@ impl<M: Classify + Clone> Router<M> {
             Some(link) => link.route(now),
             None => return Err(RuntimeError::UnknownRecipient { agent: env.to }),
         };
-        if self.record_trace {
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::Sent {
+                cycle: now,
+                from: env.from,
+                to: env.to,
+                class: env.payload.class(),
+            });
             for &kind in &decision.faults {
-                self.trace.push(TraceEvent::Fault {
+                self.sink.record(TraceEvent::Fault {
                     cycle: now,
                     from: env.from,
                     to: env.to,
@@ -128,7 +146,10 @@ impl<M: Classify + Clone> Router<M> {
     }
 
     /// Re-enqueues every parked (dropped) message, in sender order.
-    /// Returns how many were flushed.
+    /// Returns how many were flushed. The retransmission and any
+    /// delay/reorder faults the link injects on the second pass are all
+    /// recorded — the audit counts every fault event against the link
+    /// counters, so none may be dropped on the recovery path.
     pub fn flush_parked(&mut self, now: u64) -> usize {
         let mut flushed = 0;
         for from in 0..self.n {
@@ -138,18 +159,27 @@ impl<M: Classify + Clone> Router<M> {
             };
             for env in bucket {
                 let index = self.link_index(env.from, env.to);
-                let due = match self.links.get_mut(index) {
+                let (due, faults) = match self.links.get_mut(index) {
                     Some(link) => link.redeliver(now),
-                    None => now,
+                    None => (now, Vec::new()),
                 };
-                if self.record_trace {
-                    self.trace.push(TraceEvent::Fault {
+                if self.sink.enabled() {
+                    self.sink.record(TraceEvent::Fault {
                         cycle: now,
                         from: env.from,
                         to: env.to,
                         class: env.payload.class(),
                         kind: FaultKind::Retransmitted,
                     });
+                    for kind in faults {
+                        self.sink.record(TraceEvent::Fault {
+                            cycle: now,
+                            from: env.from,
+                            to: env.to,
+                            class: env.payload.class(),
+                            kind,
+                        });
+                    }
                 }
                 self.enqueue(due, env);
                 flushed += 1;
@@ -182,8 +212,8 @@ impl<M: Classify + Clone> Router<M> {
             .collect();
         for key in due_keys {
             if let Some(env) = self.queue.remove(&key) {
-                if self.record_trace {
-                    self.trace.push(TraceEvent::Delivered {
+                if self.sink.enabled() {
+                    self.sink.record(TraceEvent::Delivered {
                         cycle: tick,
                         from: env.from,
                         to: env.to,
@@ -202,6 +232,12 @@ impl<M: Classify + Clone> Router<M> {
         (self.ok_messages, self.nogood_messages, self.other_messages)
     }
 
+    /// Number of message copies still queued (in flight). Parked drops
+    /// are *not* in flight — they were already counted as dropped.
+    pub fn queued(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
     /// Fault counters summed over every link.
     pub fn link_totals(&self) -> LinkStats {
         let mut totals = LinkStats::default();
@@ -211,9 +247,15 @@ impl<M: Classify + Clone> Router<M> {
         totals
     }
 
+    /// The trace sink. Executors record their agent-step events here so
+    /// the whole run lands in one buffer in emission order.
+    pub fn sink(&mut self) -> &mut RingBuffer {
+        &mut self.sink
+    }
+
     /// Takes the recorded trace (empty unless trace recording is on).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.trace)
+        self.sink.take()
     }
 }
 
@@ -246,9 +288,11 @@ mod tests {
         router.route(0, env(1, 2)).expect("routes");
         assert_eq!(router.next_due(), Some(1));
         assert!(!router.is_quiescent());
+        assert_eq!(router.queued(), 2);
         let inboxes = router.take_due(1, 1);
         assert_eq!(inboxes.len(), 2);
         assert!(router.is_quiescent());
+        assert_eq!(router.queued(), 0);
         assert_eq!(router.class_counts(), (2, 0, 0));
         assert_eq!(router.link_totals().sent, 2);
     }
@@ -290,5 +334,51 @@ mod tests {
         }
         assert_eq!(a.class_counts(), b.class_counts());
         assert_eq!(a.link_totals(), b.link_totals());
+    }
+
+    #[test]
+    fn trace_accounts_for_every_send_and_recovery_fault() {
+        // Links that always drop and then pay a delay on retransmission:
+        // the recovery path's Delayed faults must appear in the trace,
+        // not just in the counters.
+        let policy = LinkPolicy::lossy(crate::PPM).with_delay(2, 2);
+        let mut router: Router<Note> = Router::new(2, policy, 3, true);
+        router.route(0, env(0, 1)).expect("routes");
+        router.route(0, env(1, 0)).expect("routes");
+        assert_eq!(router.flush_parked(1), 2);
+        let trace = router.take_trace();
+        let count = |pred: &dyn Fn(&TraceEvent) -> bool| trace.iter().filter(|e| pred(e)).count();
+        assert_eq!(count(&|e| matches!(e, TraceEvent::Sent { .. })), 2);
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                TraceEvent::Fault {
+                    kind: FaultKind::Dropped,
+                    ..
+                }
+            )),
+            2
+        );
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                TraceEvent::Fault {
+                    kind: FaultKind::Retransmitted,
+                    ..
+                }
+            )),
+            2
+        );
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                TraceEvent::Fault {
+                    kind: FaultKind::Delayed(2),
+                    ..
+                }
+            )),
+            2,
+            "retransmission-path delays are recorded"
+        );
     }
 }

@@ -13,11 +13,13 @@ use discsp_core::{
 };
 use serde::{Deserialize, Serialize};
 
+use discsp_trace::{RingBuffer, RuntimeKind, TraceEvent, TraceSink};
+
 use crate::agent::{AgentStats, DistributedAgent, Outbox};
 use crate::error::RuntimeError;
 use crate::message::{Classify, Envelope};
+use crate::recorder::StepRecorder;
 use crate::seed::SplitMix64;
-use crate::trace::TraceEvent;
 
 /// One cycle's bookkeeping, collected when history recording is enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -153,8 +155,12 @@ impl<A: DistributedAgent> SyncSimulator<A> {
 
         let mut cycle: u64 = 0;
         let mut solution: Option<Assignment> = None;
-        let mut trace: Vec<TraceEvent> = Vec::new();
-        let mut previous_assignment: Option<Assignment> = None;
+        let mut sink = if self.record_trace {
+            RingBuffer::new()
+        } else {
+            RingBuffer::disabled()
+        };
+        let mut recorder = StepRecorder::new();
 
         loop {
             cycle += 1;
@@ -171,8 +177,8 @@ impl<A: DistributedAgent> SyncSimulator<A> {
                         routing_error = Some(env.to);
                         return false;
                     }
-                    if self.record_trace {
-                        trace.push(TraceEvent::Delivered {
+                    if sink.enabled() {
+                        sink.record(TraceEvent::Delivered {
                             cycle,
                             from: env.from,
                             to: env.to,
@@ -191,7 +197,12 @@ impl<A: DistributedAgent> SyncSimulator<A> {
 
             // All agents act "simultaneously": each reads its inbox and
             // queues sends, which are delivered next cycle (or later
-            // under a delay model).
+            // under a delay model). Checks are drained per step — each
+            // agent's counter is only touched by its own activation, so
+            // draining inside the loop is equivalent to the old post-loop
+            // sweep and lets the shared recorder stamp the step's count.
+            let mut max_checks = 0u64;
+            let mut total_checks = 0u64;
             for (i, agent) in self.agents.iter_mut().enumerate() {
                 let mut out = Outbox::new(agent.id());
                 if cycle == 1 {
@@ -200,12 +211,24 @@ impl<A: DistributedAgent> SyncSimulator<A> {
                     let inbox = std::mem::take(&mut inboxes[i]);
                     agent.on_batch(inbox, &mut out);
                 }
+                let checks = agent.take_checks();
+                max_checks = max_checks.max(checks);
+                total_checks += checks;
+                recorder.record_step(agent, cycle, checks, &mut sink);
                 let (ok, nogood, other) = out.count_by_class();
                 metrics.ok_messages += ok;
                 metrics.nogood_messages += nogood;
                 metrics.other_messages += other;
                 cycle_messages += ok + nogood + other;
                 for env in out.drain() {
+                    if sink.enabled() {
+                        sink.record(TraceEvent::Sent {
+                            cycle,
+                            from: env.from,
+                            to: env.to,
+                            class: env.payload.class(),
+                        });
+                    }
                     let extra = if self.max_extra_delay > 0 {
                         delay_rng.next_below(self.max_extra_delay + 1)
                     } else {
@@ -214,17 +237,9 @@ impl<A: DistributedAgent> SyncSimulator<A> {
                     pending.push((cycle + 1 + extra, env));
                 }
             }
-
-            // Per-cycle check accounting for maxcck.
-            let mut max_checks = 0u64;
-            let mut total_checks = 0u64;
-            for agent in &mut self.agents {
-                let checks = agent.take_checks();
-                max_checks = max_checks.max(checks);
-                total_checks += checks;
-            }
             metrics.maxcck += max_checks;
             metrics.total_checks += total_checks;
+            sink.record(TraceEvent::CycleBarrier { cycle });
 
             // Omniscient observation: does the global state solve the
             // problem?
@@ -233,22 +248,6 @@ impl<A: DistributedAgent> SyncSimulator<A> {
                 for vv in agent.assignments() {
                     assignment.set(vv.var, vv.value);
                 }
-            }
-            if self.record_trace {
-                for agent in &self.agents {
-                    for vv in agent.assignments() {
-                        let old = previous_assignment.as_ref().and_then(|a| a.get(vv.var));
-                        if old != Some(vv.value) {
-                            trace.push(TraceEvent::ValueChanged {
-                                cycle,
-                                var: vv.var,
-                                old,
-                                new: vv.value,
-                            });
-                        }
-                    }
-                }
-                previous_assignment = Some(assignment.clone());
             }
             let solved = problem.is_solution(&assignment);
             if self.record_history {
@@ -287,10 +286,20 @@ impl<A: DistributedAgent> SyncSimulator<A> {
         // delivered, so sent equals the class totals exactly.
         metrics.messages_sent = metrics.total_messages();
 
+        // Messages still pending when the run ends (sent in the final
+        // cycle, or scheduled further out by a delay model) are the
+        // in-flight set the audit subtracts from the delivery count.
+        sink.record(TraceEvent::RunEnd {
+            cycle: metrics.cycles,
+            runtime: RuntimeKind::Sync,
+            in_flight: pending.len() as u64,
+            metrics: metrics.clone(),
+        });
+
         Ok(SyncRun {
             outcome: TrialOutcome { metrics, solution },
             history,
-            trace,
+            trace: sink.take(),
         })
     }
 }
@@ -495,6 +504,29 @@ mod tests {
             sim.run(&problem).expect("runs").outcome.metrics.cycles
         };
         assert_eq!(run_with(3), run_with(3));
+    }
+
+    #[test]
+    fn sync_trace_passes_the_audit() {
+        let problem = all_equal_problem(4);
+        let mut sim = SyncSimulator::new(followers(4));
+        sim.record_trace(true).message_delay(3, 7);
+        let run = sim.run(&problem).expect("runs");
+        let audit = discsp_trace::audit(&run.trace).expect("trace is sealed by RunEnd");
+        assert!(audit.passed(), "audit failures: {:?}", audit.failures);
+        assert_eq!(audit.metrics, run.outcome.metrics);
+        assert!(
+            run.trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ValueChanged { .. })),
+            "the shared recorder emits value changes"
+        );
+        assert!(
+            run.trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Sent { .. })),
+            "sends are traced at emission time"
+        );
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! The accounting auditor: recompute the paper's counters from a trace
+//! and cross-check them against the runtime-reported [`RunMetrics`].
+//!
+//! A trace is self-auditing: its terminal [`TraceEvent::RunEnd`] carries
+//! the metrics the runtime claimed, so the auditor needs no side
+//! channel. It independently recomputes
+//!
+//! * `total_checks` — the sum of every [`TraceEvent::AgentStep`]'s
+//!   check count;
+//! * `maxcck` — the sum over [`TraceEvent::CycleBarrier`]-delimited
+//!   waves of the maximum per-step check count inside each wave (the
+//!   threaded runtime emits no barriers, so its recomputed `maxcck` is
+//!   0 — matching its reported 0: concurrent checks have no wave
+//!   maximum);
+//! * every message counter (`Sent` events, `Fault` events by kind) and
+//!   the PR-3 conservation identity
+//!   `total == sent − dropped + duplicated + retransmitted`;
+//! * delivery coverage: on the deterministic runtimes every enqueued
+//!   copy is either delivered in the trace or still in flight at
+//!   `RunEnd`, so one missing `Delivered` event is detected exactly;
+//! * the learning counters (`nogoods_generated`, `largest_nogood`).
+//!
+//! Structural problems (no `RunEnd`, several of them, an empty trace)
+//! are [`AuditError`]s; accounting mismatches are collected as pointed
+//! diagnostics in [`Audit::failures`] so one audit reports every
+//! discrepancy at once.
+
+use std::fmt;
+
+use discsp_core::RunMetrics;
+
+use crate::event::{canonical_sort, FaultKind, RuntimeKind, TraceEvent};
+
+/// A trace that cannot be audited at all (as opposed to one that audits
+/// and fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The trace has no events.
+    Empty,
+    /// No terminal [`TraceEvent::RunEnd`] — the runtime never sealed the
+    /// trace with its own accounting.
+    MissingRunEnd,
+    /// More than one [`TraceEvent::RunEnd`]: the input mixes runs.
+    MultipleRunEnd(usize),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Empty => f.write_str("empty trace"),
+            AuditError::MissingRunEnd => {
+                f.write_str("trace has no run_end event; cannot audit without reported metrics")
+            }
+            AuditError::MultipleRunEnd(count) => {
+                write!(f, "trace has {count} run_end events; audit one run at a time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// The recomputed counters plus every mismatch found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Audit {
+    /// Which executor produced the trace.
+    pub runtime: RuntimeKind,
+    /// The metrics the runtime reported (from `RunEnd`).
+    pub metrics: RunMetrics,
+    /// Final cycle/tick reported by `RunEnd`.
+    pub cycles: u64,
+    /// `maxcck` recomputed from barrier-delimited waves.
+    pub maxcck: u64,
+    /// `total_checks` recomputed from agent steps.
+    pub total_checks: u64,
+    /// `Sent` events counted in the trace.
+    pub sent: u64,
+    /// `Delivered` events counted in the trace.
+    pub delivered: u64,
+    /// Events audited.
+    pub events: usize,
+    /// Every accounting discrepancy, as a human-pointed diagnostic.
+    pub failures: Vec<String>,
+}
+
+impl Audit {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn mismatch(failures: &mut Vec<String>, field: &str, recomputed: u64, reported: u64) {
+    if recomputed != reported {
+        failures.push(format!(
+            "{field}: trace recomputes {recomputed}, RunMetrics reports {reported}"
+        ));
+    }
+}
+
+/// Audits one run's trace. Event order does not matter: the trace is
+/// canonically sorted first, so the coordinator-merged net trace and the
+/// in-process virtual trace audit identically.
+pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
+    if events.is_empty() {
+        return Err(AuditError::Empty);
+    }
+    let mut sorted: Vec<TraceEvent> = events.to_vec();
+    canonical_sort(&mut sorted);
+
+    let ends: Vec<(u64, RuntimeKind, u64, RunMetrics)> = sorted
+        .iter()
+        .filter_map(|event| match event {
+            TraceEvent::RunEnd {
+                cycle,
+                runtime,
+                in_flight,
+                metrics,
+            } => Some((*cycle, *runtime, *in_flight, metrics.clone())),
+            _ => None,
+        })
+        .collect();
+    let (end_cycle, runtime, in_flight, metrics) = match ends.as_slice() {
+        [] => return Err(AuditError::MissingRunEnd),
+        [one] => one.clone(),
+        many => return Err(AuditError::MultipleRunEnd(many.len())),
+    };
+
+    let mut total_checks: u64 = 0;
+    let mut maxcck: u64 = 0;
+    let mut wave_max: u64 = 0;
+    let mut sent: u64 = 0;
+    let mut delivered: u64 = 0;
+    let mut dropped: u64 = 0;
+    let mut duplicated: u64 = 0;
+    let mut reordered: u64 = 0;
+    let mut retransmitted: u64 = 0;
+    let mut max_delay: u64 = 0;
+    let mut nogoods: u64 = 0;
+    let mut largest_nogood: u64 = 0;
+    let mut max_event_cycle: u64 = 0;
+
+    for event in &sorted {
+        if !matches!(event, TraceEvent::RunEnd { .. }) {
+            max_event_cycle = max_event_cycle.max(event.cycle());
+        }
+        match event {
+            TraceEvent::AgentStep { checks, .. } => {
+                total_checks += checks;
+                wave_max = wave_max.max(*checks);
+            }
+            TraceEvent::CycleBarrier { .. } => {
+                maxcck += wave_max;
+                wave_max = 0;
+            }
+            TraceEvent::Sent { .. } => sent += 1,
+            TraceEvent::Delivered { .. } => delivered += 1,
+            TraceEvent::Fault { kind, .. } => match kind {
+                FaultKind::Dropped => dropped += 1,
+                FaultKind::Duplicated => duplicated += 1,
+                FaultKind::Reordered => reordered += 1,
+                FaultKind::Delayed(ticks) => max_delay = max_delay.max(*ticks),
+                FaultKind::Retransmitted => retransmitted += 1,
+            },
+            TraceEvent::NogoodLearned { size, .. } => {
+                nogoods += 1;
+                largest_nogood = largest_nogood.max(*size);
+            }
+            _ => {}
+        }
+    }
+
+    let mut failures = Vec::new();
+
+    // The paper's two headline counters plus the raw check total.
+    mismatch(&mut failures, "total_checks", total_checks, metrics.total_checks);
+    mismatch(&mut failures, "maxcck", maxcck, metrics.maxcck);
+    mismatch(&mut failures, "cycle", end_cycle, metrics.cycles);
+
+    // Message accounting: the trace must explain every counter.
+    mismatch(&mut failures, "messages_sent", sent, metrics.messages_sent);
+    mismatch(&mut failures, "messages_dropped", dropped, metrics.messages_dropped);
+    mismatch(
+        &mut failures,
+        "messages_duplicated",
+        duplicated,
+        metrics.messages_duplicated,
+    );
+    mismatch(
+        &mut failures,
+        "messages_reordered",
+        reordered,
+        metrics.messages_reordered,
+    );
+    mismatch(
+        &mut failures,
+        "messages_retransmitted",
+        retransmitted,
+        metrics.messages_retransmitted,
+    );
+    mismatch(
+        &mut failures,
+        "max_delivery_delay",
+        max_delay,
+        metrics.max_delivery_delay,
+    );
+
+    // The PR-3 conservation identity, on the runtime's own counters.
+    let conserved = i128::from(metrics.messages_sent) - i128::from(metrics.messages_dropped)
+        + i128::from(metrics.messages_duplicated)
+        + i128::from(metrics.messages_retransmitted);
+    if i128::from(metrics.total_messages()) != conserved {
+        failures.push(format!(
+            "message conservation: total ({}) != sent − dropped + duplicated + \
+             retransmitted ({} − {} + {} + {} = {conserved})",
+            metrics.total_messages(),
+            metrics.messages_sent,
+            metrics.messages_dropped,
+            metrics.messages_duplicated,
+            metrics.messages_retransmitted,
+        ));
+    }
+
+    // Delivery coverage. On the deterministic runtimes every enqueued
+    // copy is either delivered in the trace or still queued at RunEnd;
+    // the threaded runtime tears workers down with copies in channels,
+    // so only the upper bound holds there.
+    let expected_deliveries =
+        i128::from(metrics.total_messages()) - i128::from(in_flight);
+    if runtime == RuntimeKind::Async {
+        if i128::from(delivered) > i128::from(metrics.total_messages()) {
+            failures.push(format!(
+                "delivered events ({delivered}) exceed the {} messages the link \
+                 layer ever enqueued",
+                metrics.total_messages(),
+            ));
+        }
+    } else if i128::from(delivered) != expected_deliveries {
+        failures.push(format!(
+            "delivered events ({delivered}) do not cover the link layer's deliveries \
+             (total {} − {in_flight} in flight = {expected_deliveries}): a Delivered \
+             event is missing from the trace or the runtime under-delivered",
+            metrics.total_messages(),
+        ));
+    }
+
+    // Learning counters.
+    mismatch(&mut failures, "nogoods_generated", nogoods, metrics.nogoods_generated);
+    mismatch(&mut failures, "largest_nogood", largest_nogood, metrics.largest_nogood);
+
+    // No event may claim a cycle after the run ended (coarse async
+    // stamps excepted).
+    if runtime != RuntimeKind::Async && max_event_cycle > end_cycle {
+        failures.push(format!(
+            "an event is stamped at cycle {max_event_cycle}, after the run ended at \
+             cycle {end_cycle}"
+        ));
+    }
+
+    Ok(Audit {
+        runtime,
+        metrics,
+        cycles: end_cycle,
+        maxcck,
+        total_checks,
+        sent,
+        delivered,
+        events: sorted.len(),
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_core::{AgentId, MessageClass, Termination};
+
+    /// A tiny, fully consistent hand-built trace: two waves, one
+    /// dropped-then-retransmitted message, one learned nogood.
+    fn consistent_trace() -> Vec<TraceEvent> {
+        let a0 = AgentId::new(0);
+        let a1 = AgentId::new(1);
+        let mut metrics = RunMetrics::new(Termination::Solved);
+        metrics.cycles = 3;
+        metrics.total_checks = 5 + 2 + 4;
+        metrics.maxcck = 5 + 4;
+        metrics.messages_sent = 3;
+        metrics.messages_dropped = 1;
+        metrics.messages_retransmitted = 1;
+        metrics.ok_messages = 2;
+        metrics.nogood_messages = 1;
+        metrics.nogoods_generated = 1;
+        metrics.largest_nogood = 2;
+        vec![
+            TraceEvent::AgentStep {
+                cycle: 0,
+                agent: a0,
+                checks: 5,
+            },
+            TraceEvent::AgentStep {
+                cycle: 0,
+                agent: a1,
+                checks: 2,
+            },
+            TraceEvent::Sent {
+                cycle: 0,
+                from: a0,
+                to: a1,
+                class: MessageClass::Ok,
+            },
+            TraceEvent::Sent {
+                cycle: 0,
+                from: a1,
+                to: a0,
+                class: MessageClass::Ok,
+            },
+            TraceEvent::Fault {
+                cycle: 0,
+                from: a1,
+                to: a0,
+                class: MessageClass::Ok,
+                kind: FaultKind::Dropped,
+            },
+            TraceEvent::CycleBarrier { cycle: 0 },
+            TraceEvent::Delivered {
+                cycle: 1,
+                from: a0,
+                to: a1,
+                class: MessageClass::Ok,
+            },
+            TraceEvent::AgentStep {
+                cycle: 1,
+                agent: a1,
+                checks: 4,
+            },
+            TraceEvent::NogoodLearned {
+                cycle: 1,
+                agent: a1,
+                size: 2,
+            },
+            TraceEvent::Sent {
+                cycle: 1,
+                from: a1,
+                to: a0,
+                class: MessageClass::Nogood,
+            },
+            TraceEvent::Fault {
+                cycle: 1,
+                from: a1,
+                to: a0,
+                class: MessageClass::Ok,
+                kind: FaultKind::Retransmitted,
+            },
+            TraceEvent::CycleBarrier { cycle: 1 },
+            TraceEvent::Delivered {
+                cycle: 2,
+                from: a1,
+                to: a0,
+                class: MessageClass::Nogood,
+            },
+            TraceEvent::Delivered {
+                cycle: 2,
+                from: a1,
+                to: a0,
+                class: MessageClass::Ok,
+            },
+            TraceEvent::CycleBarrier { cycle: 2 },
+            TraceEvent::RunEnd {
+                cycle: 3,
+                runtime: RuntimeKind::Virtual,
+                in_flight: 0,
+                metrics,
+            },
+        ]
+    }
+
+    #[test]
+    fn consistent_trace_passes() {
+        let report = audit(&consistent_trace()).expect("auditable");
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.total_checks, 11);
+        assert_eq!(report.maxcck, 9);
+        assert_eq!(report.cycles, 3);
+        assert_eq!(report.sent, 3);
+        assert_eq!(report.delivered, 3);
+    }
+
+    #[test]
+    fn audit_ignores_event_order() {
+        let mut shuffled = consistent_trace();
+        shuffled.reverse();
+        let report = audit(&shuffled).expect("auditable");
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn dropped_delivered_event_is_detected_with_a_pointed_diagnostic() {
+        let mut corrupted = consistent_trace();
+        let index = corrupted
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Delivered { .. }))
+            .expect("has a delivery");
+        corrupted.remove(index);
+        let report = audit(&corrupted).expect("auditable");
+        assert!(!report.passed());
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("delivered events (2)") && f.contains("Delivered")),
+            "diagnostic must point at the missing delivery: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn wrong_checks_show_up_as_both_check_counters() {
+        let mut corrupted = consistent_trace();
+        for event in &mut corrupted {
+            if let TraceEvent::AgentStep { checks, .. } = event {
+                *checks += 1;
+                break;
+            }
+        }
+        let report = audit(&corrupted).expect("auditable");
+        let text = report.failures.join("\n");
+        assert!(text.contains("total_checks"), "{text}");
+        assert!(text.contains("maxcck"), "{text}");
+    }
+
+    #[test]
+    fn structural_problems_are_errors() {
+        assert_eq!(audit(&[]), Err(AuditError::Empty));
+        let barrier = vec![TraceEvent::CycleBarrier { cycle: 0 }];
+        assert_eq!(audit(&barrier), Err(AuditError::MissingRunEnd));
+        let mut two_runs = consistent_trace();
+        two_runs.extend(consistent_trace());
+        assert_eq!(audit(&two_runs), Err(AuditError::MultipleRunEnd(2)));
+    }
+
+    #[test]
+    fn async_traces_audit_without_barriers() {
+        let a0 = AgentId::new(0);
+        let mut metrics = RunMetrics::new(Termination::Solved);
+        metrics.cycles = 4;
+        metrics.total_checks = 6;
+        metrics.messages_sent = 1;
+        metrics.ok_messages = 1;
+        let events = vec![
+            TraceEvent::AgentStep {
+                cycle: 0,
+                agent: a0,
+                checks: 6,
+            },
+            TraceEvent::Sent {
+                cycle: 0,
+                from: a0,
+                to: a0,
+                class: MessageClass::Ok,
+            },
+            TraceEvent::Delivered {
+                cycle: 1,
+                from: a0,
+                to: a0,
+                class: MessageClass::Ok,
+            },
+            TraceEvent::RunEnd {
+                cycle: 4,
+                runtime: RuntimeKind::Async,
+                in_flight: 0,
+                metrics,
+            },
+        ];
+        let report = audit(&events).expect("auditable");
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.maxcck, 0, "no barriers, no wave maxima");
+    }
+}

@@ -1,0 +1,274 @@
+//! Trace sinks: where runtimes put events.
+//!
+//! Every executor records through the [`TraceSink`] trait so the choice
+//! of storage (in-memory ring buffer, streaming JSONL file, nothing at
+//! all) is the caller's, not the runtime's. `record` is infallible by
+//! design — a tracing failure must never abort a solve — so fallible
+//! sinks latch their first error and surface it at `finish` time.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use crate::event::TraceEvent;
+use crate::jsonl::event_to_json;
+
+/// A destination for trace events.
+pub trait TraceSink {
+    /// Records one event. Must be cheap when [`TraceSink::enabled`]
+    /// returns `false`.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Whether recording is live. Runtimes may skip building events
+    /// entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that drops everything; `enabled()` is `false` so runtimes can
+/// skip event construction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The default in-memory sink: an optionally bounded ring buffer.
+///
+/// Unbounded by default (a trace is proportional to total traffic);
+/// with a capacity it evicts the oldest events and counts them in
+/// [`RingBuffer::dropped`], so an auditor can refuse a truncated trace
+/// instead of reporting spurious mismatches.
+#[derive(Debug)]
+pub struct RingBuffer {
+    events: VecDeque<TraceEvent>,
+    enabled: bool,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// An enabled, unbounded buffer.
+    pub fn new() -> Self {
+        RingBuffer {
+            events: VecDeque::new(),
+            enabled: true,
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// A buffer that records nothing (`enabled()` is `false`).
+    pub fn disabled() -> Self {
+        RingBuffer {
+            events: VecDeque::new(),
+            enabled: false,
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled buffer keeping at most `capacity` most-recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingBuffer {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            enabled: true,
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the buffered events in recording order.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl Default for RingBuffer {
+    fn default() -> Self {
+        RingBuffer::new()
+    }
+}
+
+impl TraceSink for RingBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() >= cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// A streaming sink writing one JSONL line per event (the format read
+/// back by [`crate::jsonl::parse_trace`] and the `discsp-trace` binary).
+///
+/// I/O errors latch: the first failure stops further writes and is
+/// returned by [`JsonlWriter::finish`].
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a writer. Buffering is the caller's choice (pass a
+    /// `BufWriter` for files).
+    pub fn new(out: W) -> Self {
+        JsonlWriter { out, error: None }
+    }
+
+    /// Flushes and returns the inner writer, or the first error any
+    /// `record` hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlWriter<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event_to_json(&event);
+        line.push('\n');
+        if let Err(err) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(err);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discsp_core::AgentId;
+
+    fn step(cycle: u64) -> TraceEvent {
+        TraceEvent::AgentStep {
+            cycle,
+            agent: AgentId::new(0),
+            checks: 1,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_records_in_order() {
+        let mut buf = RingBuffer::new();
+        assert!(buf.enabled());
+        buf.record(step(1));
+        buf.record(step(2));
+        assert_eq!(buf.len(), 2);
+        let events = buf.take();
+        assert_eq!(events[0].cycle(), 1);
+        assert_eq!(events[1].cycle(), 2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut buf = RingBuffer::disabled();
+        assert!(!buf.enabled());
+        buf.record(step(1));
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_evicts_oldest_and_counts() {
+        let mut buf = RingBuffer::with_capacity(2);
+        buf.record(step(1));
+        buf.record(step(2));
+        buf.record(step(3));
+        assert_eq!(buf.dropped(), 1);
+        let events = buf.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].cycle(), 2);
+        assert_eq!(events[1].cycle(), 3);
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        sink.record(step(1));
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.record(step(1));
+        sink.record(step(2));
+        let bytes = sink.finish().expect("no io error on Vec");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"ev\":\"agent_step\""));
+    }
+
+    struct FailAfter(usize);
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.0 == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.0 -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_latches_first_error() {
+        let mut sink = JsonlWriter::new(FailAfter(1));
+        sink.record(step(1));
+        assert!(sink.enabled());
+        sink.record(step(2));
+        assert!(!sink.enabled());
+        sink.record(step(3));
+        assert!(sink.finish().is_err());
+    }
+}

@@ -9,14 +9,25 @@
 //! bit-identical, then repeats one run on the threaded runtime where
 //! only the outcome (not the interleaving) is reproducible.
 //!
+//! Every run records its event trace, and every trace is audited
+//! in-process: the `discsp-trace` analyzer recomputes `cycle`,
+//! `maxcck`, `total_checks`, and the message conservation law from the
+//! events alone and must agree with the `RunMetrics` the runtime
+//! reported. Set `TRACE_DIR=some/dir` to also dump each trace as JSONL
+//! so CI can re-audit them with the standalone binary
+//! (`discsp-trace audit some/dir/*.jsonl`).
+//!
 //! ```text
 //! cargo run --example lossy_links            # demo over 3 policies
 //! cargo run --example lossy_links -- 25      # sweep 25 seeds per policy
 //! ```
 
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use discsp::prelude::*;
+use discsp::trace::event_to_json;
 
 fn policies() -> Vec<(&'static str, LinkPolicy)> {
     vec![
@@ -32,12 +43,53 @@ fn policies() -> Vec<(&'static str, LinkPolicy)> {
     ]
 }
 
+/// File-name-safe form of a policy label ("lossy 10%" → "lossy_10").
+fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// Hard gate on one recorded run: the trace must audit cleanly and the
+/// audit's independently recomputed metrics must equal what the runtime
+/// reported. With `dir` set, also writes the trace as `<label>.jsonl`.
+fn audit_and_dump(
+    trace: &[TraceEvent],
+    reported: &discsp::core::RunMetrics,
+    label: &str,
+    dir: Option<&Path>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let verdict = audit(trace).map_err(|e| format!("{label}: audit refused the trace: {e}"))?;
+    if !verdict.passed() {
+        return Err(format!("{label}: trace audit failed: {:?}", verdict.failures).into());
+    }
+    if &verdict.metrics != reported {
+        return Err(format!("{label}: RunEnd metrics drifted from the report").into());
+    }
+    if let Some(dir) = dir {
+        let text: String = trace.iter().map(|e| event_to_json(e) + "\n").collect();
+        fs::write(dir.join(format!("{label}.jsonl")), text)?;
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sweep: u64 = std::env::args()
         .nth(1)
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(3);
+
+    let trace_dir: Option<PathBuf> = std::env::var_os("TRACE_DIR").map(PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        fs::create_dir_all(dir)?;
+    }
 
     let instance = paper_coloring(20, 13);
     let problem = coloring_to_discsp(&instance)?;
@@ -52,6 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let config = VirtualConfig {
                 seed,
                 link,
+                record_trace: true,
                 ..VirtualConfig::default()
             };
             let first = awc.solve_virtual(&problem, &init, &config)?;
@@ -61,8 +114,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "replay diverged — determinism is broken"
             );
             assert_eq!(first.ticks, replay.ticks);
+            assert_eq!(
+                first.trace, replay.trace,
+                "replay diverged — the event traces differ"
+            );
             let m = &first.outcome.metrics;
             assert!(m.termination.is_solved(), "seed {seed} unsolved");
+            audit_and_dump(
+                &first.trace,
+                m,
+                &format!("awc_{}_seed{seed}", slug(name)),
+                trace_dir.as_deref(),
+            )?;
             println!(
                 "awc seed {seed:>2}: solved in {} ticks — {} sent, {} dropped, \
                  {} duplicated, {} reordered, {} retransmitted, max delay {}",
@@ -78,6 +141,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = dba.solve_virtual(&problem, &init, &config)?;
             let m = &report.outcome.metrics;
             assert!(m.termination.is_solved(), "dba seed {seed} unsolved");
+            audit_and_dump(
+                &report.trace,
+                m,
+                &format!("dba_{}_seed{seed}", slug(name)),
+                trace_dir.as_deref(),
+            )?;
             println!(
                 "dba seed {seed:>2}: solved in {} ticks — {} sent, {} dropped",
                 report.ticks, m.messages_sent, m.messages_dropped,
@@ -92,10 +161,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_wall_time: Duration::from_secs(60),
         seed: 1,
         link,
+        record_trace: true,
         ..AsyncConfig::default()
     };
     let report = awc.solve_async(&problem, &init, &config)?;
     let m = &report.outcome.metrics;
+    audit_and_dump(&report.trace, m, "awc_async_hostile", trace_dir.as_deref())?;
     println!(
         "\nthreaded hostile run: {} in {:?} — {} dropped, {} retransmitted, {} nudges",
         m.termination, report.wall_time, m.messages_dropped, m.messages_retransmitted,
@@ -103,6 +174,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(m.termination.is_solved());
 
-    println!("\nall faulty-link runs solved; every deterministic replay was bit-identical ✓");
+    println!(
+        "\nall faulty-link runs solved, every deterministic replay was bit-identical, \
+         and every trace audit confirmed the reported metrics ✓"
+    );
     Ok(())
 }

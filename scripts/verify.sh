@@ -20,7 +20,13 @@ echo "==> discsp-lint (workspace invariants: determinism, metrics, panic safety)
 cargo run --release --offline -q -p discsp-lint
 
 echo "==> fault-injection soak (seed sweep over lossy/delayed/reordering links)"
-cargo run --release --offline -q --example lossy_links -- "${FAULT_SWEEP_SEEDS:-10}"
+soak_traces="target/fault-soak-traces"
+rm -rf "$soak_traces"
+TRACE_DIR="$soak_traces" \
+  cargo run --release --offline -q --example lossy_links -- "${FAULT_SWEEP_SEEDS:-10}"
+
+echo "==> discsp-trace audit (independently recompute metrics from every soak trace)"
+cargo run --release --offline -q -p discsp-trace -- audit "$soak_traces"/*.jsonl
 
 echo "==> net smoke (coordinator + agent processes over loopback TCP)"
 timeout 120 cargo test -q --release --offline -p discsp-net --test net_loopback

@@ -57,8 +57,10 @@ pub use discsp_awc as awc;
 pub use discsp_core as core;
 pub use discsp_cspsolve as cspsolve;
 pub use discsp_dba as dba;
+pub use discsp_net as net;
 pub use discsp_probgen as probgen;
 pub use discsp_runtime as runtime;
+pub use discsp_trace as trace;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -78,4 +80,5 @@ pub mod prelude {
     pub use discsp_runtime::{
         AsyncConfig, LinkPolicy, SyncRun, SyncSimulator, VirtualConfig, PPM,
     };
+    pub use discsp_trace::{audit, parse_trace, summarize, TraceEvent};
 }
