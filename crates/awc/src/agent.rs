@@ -25,6 +25,13 @@ pub struct AwcConfig {
     /// When `false`, recipients do not record received nogoods at all —
     /// the `Rslv/norec` mode of the Table 4 redundancy study.
     pub record_received: bool,
+    /// Activity-based forgetting: when `Some(n)`, each review starts by
+    /// evicting the coldest learned nogoods until at most `n` remain
+    /// (initial constraints are never evicted). `None` — the paper's
+    /// configurations — never forgets. Defaults to `None`, including
+    /// when deserializing configs written before this field existed.
+    #[serde(default)]
+    pub forget_limit: Option<usize>,
 }
 
 impl AwcConfig {
@@ -34,6 +41,7 @@ impl AwcConfig {
             learning: Learning::Resolvent,
             record_bound: None,
             record_received: true,
+            forget_limit: None,
         }
     }
 
@@ -70,17 +78,31 @@ impl AwcConfig {
         }
     }
 
+    /// Caps the learned-nogood store at `limit` entries, evicting the
+    /// least active learned nogoods at the start of each review.
+    pub fn with_forget_limit(self, limit: usize) -> Self {
+        AwcConfig {
+            forget_limit: Some(limit),
+            ..self
+        }
+    }
+
     /// The label used in the paper's tables (`Rslv`, `Mcs`, `No`,
-    /// `3rdRslv`, `Rslv/norec`, …).
+    /// `3rdRslv`, `Rslv/norec`, …). Forgetting configurations — which
+    /// the paper does not study — append `/f<limit>`.
     pub fn label(&self) -> String {
         let base = match (self.learning, self.record_bound) {
             (Learning::Resolvent, Some(k)) => format!("{}Rslv", ordinal(k)),
             (learning, _) => learning.short_name().to_string(),
         };
-        if self.record_received {
+        let base = if self.record_received {
             base
         } else {
             format!("{base}/norec")
+        };
+        match self.forget_limit {
+            Some(limit) => format!("{base}/f{limit}"),
+            None => base,
         }
     }
 }
@@ -226,7 +248,9 @@ impl AwcAgent {
                     return false;
                 }
                 let within_bound = self.config.record_bound.is_none_or(|k| nogood.len() <= k);
-                if self.config.record_received && within_bound && self.store.insert(nogood.clone())
+                if self.config.record_received
+                    && within_bound
+                    && self.store.insert_learned(nogood.clone())
                 {
                     // §2.2: "If the new nogood includes an unknown
                     // variable, the agent has to request the
@@ -263,6 +287,17 @@ impl AwcAgent {
         if self.insoluble {
             return;
         }
+        // Forget before syncing the cache, so the review evaluates the
+        // post-eviction store. Eviction is unmetered: forgetting removes
+        // work, it must not charge checks.
+        if let Some(limit) = self.config.forget_limit {
+            let evicted = self.store.forget(limit);
+            if !evicted.is_empty() {
+                self.notes.push(AgentNote::NogoodsForgotten {
+                    count: evicted.len() as u64,
+                });
+            }
+        }
         // Sync the incremental cache once per review; the store and view
         // are stable for the rest of the evaluation (learning only
         // *reads* the store, and generated nogoods are sent, not
@@ -273,9 +308,11 @@ impl AwcAgent {
 
         // Partition the store into higher and lower nogoods. This is
         // priority bookkeeping, not nogood checking, so it is unmetered.
+        // `entries` yields stable slot indices, which stay valid across
+        // forgetting (unlike positions in an enumeration).
         let mut higher = Vec::new();
         let mut lower = Vec::new();
-        for (i, ng) in self.store.iter().enumerate() {
+        for (i, ng) in self.store.entries() {
             if self.view.is_higher_nogood(ng, own_rank) {
                 higher.push(i);
             } else {
@@ -284,7 +321,12 @@ impl AwcAgent {
         }
 
         // Is the current value consistent with all higher nogoods?
-        let current_violated = self.violated_among(&higher, self.value);
+        let current_violated = self.charged_violated_among(&higher, self.value);
+        // Violation hits make a nogood hot: forgetting keeps the nogoods
+        // that actually prune the current search region.
+        for &i in &current_violated {
+            self.store.bump_activity(i);
+        }
         if current_violated.is_empty() {
             return; // "an agent does nothing"
         }
@@ -295,7 +337,7 @@ impl AwcAgent {
             violated_per_value[d.index()] = if d == self.value {
                 current_violated.clone()
             } else {
-                self.violated_among(&higher, d)
+                self.charged_violated_among(&higher, d)
             };
         }
 
@@ -368,7 +410,7 @@ impl AwcAgent {
         // nogoods, announce.
         self.raise_priority();
         let all_values: Vec<Value> = self.domain.iter().collect();
-        let everything: Vec<usize> = (0..self.store.len()).collect();
+        let everything: Vec<NogoodIdx> = self.store.indices().collect();
         self.value = self.pick_min_conflict(&all_values, &everything);
         self.send_ok_to_all(out);
     }
@@ -380,13 +422,9 @@ impl AwcAgent {
     /// but charges exactly one check per index — the cost of the naive
     /// scan this replaces. `cycle`/`maxcck` stay bit-identical to the
     /// pre-index implementation (pinned by the golden metric tests).
-    fn violated_among(&self, indices: &[NogoodIdx], value: Value) -> Vec<NogoodIdx> {
+    fn charged_violated_among(&self, indices: &[NogoodIdx], value: Value) -> Vec<NogoodIdx> {
         self.store.charge_checks(indices.len() as u64);
-        indices
-            .iter()
-            .copied()
-            .filter(|&i| self.eval.is_violated(i, value))
-            .collect()
+        self.eval.violated_among(indices, value)
     }
 
     /// Picks the candidate value minimizing violations among `indices`
@@ -406,7 +444,7 @@ impl AwcAgent {
         candidates
             .iter()
             .copied()
-            .map(|v| (self.violated_among(indices, v).len(), distance(v), v))
+            .map(|v| (self.charged_violated_among(indices, v).len(), distance(v), v))
             .min_by_key(|&(violations, dist, _)| (violations, dist))
             .map(|(_, _, v)| v)
             .unwrap_or(self.value)
@@ -495,6 +533,14 @@ mod tests {
         assert_eq!(AwcConfig::kth_resolvent(5).label(), "5thRslv");
         assert_eq!(AwcConfig::kth_resolvent(11).label(), "11thRslv");
         assert_eq!(AwcConfig::resolvent_norec().label(), "Rslv/norec");
+        assert_eq!(
+            AwcConfig::resolvent().with_forget_limit(100).label(),
+            "Rslv/f100"
+        );
+        assert_eq!(
+            AwcConfig::kth_resolvent(3).with_forget_limit(50).label(),
+            "3rdRslv/f50"
+        );
         assert_eq!(AwcConfig::default(), AwcConfig::resolvent());
     }
 
@@ -707,6 +753,30 @@ mod tests {
         }
         assert!(agent.store().contains(&small));
         assert!(!agent.store().contains(&big));
+    }
+
+    #[test]
+    fn forget_limit_evicts_learned_nogoods_and_notes_it() {
+        let mut agent = toy_agent(AwcConfig::resolvent().with_forget_limit(0));
+        let mut out = Outbox::new(agent.id());
+        let ng = Nogood::of([(VariableId::new(0), Value::new(1))]);
+        agent.on_batch(
+            vec![Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                AwcMessage::Nogood {
+                    nogood: ng.clone(),
+                    owners: vec![(VariableId::new(0), AgentId::new(0))],
+                },
+            )],
+            &mut out,
+        );
+        // The review following ingestion forgets the freshly recorded
+        // nogood (limit 0); the initial constraint always survives.
+        assert!(!agent.store().contains(&ng));
+        assert_eq!(agent.store().len(), 1);
+        let notes = agent.drain_notes();
+        assert!(notes.contains(&AgentNote::NogoodsForgotten { count: 1 }));
     }
 
     #[test]

@@ -149,7 +149,7 @@ pub fn resolvent_selections(deadend: &Deadend<'_>) -> Vec<(Value, Nogood)> {
                     })
                 })
                 .expect("candidate list is nonempty");
-            (value, selected.clone())
+            (value, selected.to_nogood())
         })
         .collect()
 }

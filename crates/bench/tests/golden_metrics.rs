@@ -131,6 +131,43 @@ fn sat_awc_mcs() {
     );
 }
 
+/// A forget limit the stores never reach must be a perfect no-op: the
+/// forgetting pass runs every review but evicts nothing, so every
+/// metric stays bit-identical to the paper's configuration. This pins
+/// the "forgetting removes work, it must not charge checks" contract
+/// from the other side — the mere presence of the pass is unmetered.
+#[test]
+fn huge_forget_budget_is_metric_identical_to_no_forgetting() {
+    for (family, n) in [(Family::Coloring, 15), (Family::Sat, 12)] {
+        let plain = observed(family, n, Algorithm::Awc(AwcConfig::resolvent()));
+        let forgetful = observed(
+            family,
+            n,
+            Algorithm::Awc(AwcConfig::resolvent().with_forget_limit(1_000_000)),
+        );
+        assert_eq!(
+            plain, forgetful,
+            "an unreachable forget limit altered {family:?} metrics — \
+             the forgetting pass is not free"
+        );
+    }
+}
+
+/// With an aggressive forget limit the search itself legitimately
+/// changes (evicted nogoods may be re-derived), so no tuple is pinned —
+/// but the runs must stay deterministic and complete.
+#[test]
+fn aggressive_forgetting_is_deterministic() {
+    let algorithm = Algorithm::Awc(AwcConfig::resolvent().with_forget_limit(4));
+    let first = observed(Family::Coloring, 15, algorithm);
+    let replay = observed(Family::Coloring, 15, algorithm);
+    assert_eq!(
+        first, replay,
+        "forgetting-enabled replay diverged — eviction is not deterministic"
+    );
+    assert_eq!(first.len(), 4, "the 2x2 protocol cell must yield 4 runs");
+}
+
 #[test]
 fn sat_db() {
     check(

@@ -51,7 +51,7 @@ pub use error::CoreError;
 pub use ids::{AgentId, VariableId};
 pub use message::{Classify, MessageClass};
 pub use metrics::{Aggregate, RunMetrics, Termination, TrialOutcome, PAPER_CYCLE_LIMIT};
-pub use nogood::Nogood;
+pub use nogood::{Nogood, NogoodLits, NogoodRef};
 pub use priority::{Priority, Rank};
 pub use problem::{DistributedCsp, DistributedCspBuilder};
 pub use store::{IncrementalEval, NogoodIdx, NogoodStore};

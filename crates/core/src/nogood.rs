@@ -162,18 +162,174 @@ impl Nogood {
     }
 }
 
+/// Read access to a nogood's canonical literal slice, implemented by both
+/// the owned [`Nogood`] and the borrowed [`NogoodRef`].
+///
+/// The arena-backed [`NogoodStore`](crate::NogoodStore) hands out
+/// [`NogoodRef`]s (slices into its literal arena) instead of `&Nogood`, so
+/// every consumer of "something nogood-shaped" — rank computations,
+/// violation tests, the store's own metered `eval` — is generic over this
+/// trait. The slice is guaranteed canonical: sorted by variable id, at
+/// most one literal per variable.
+pub trait NogoodLits {
+    /// The literals in canonical (variable-id sorted) order.
+    fn lits(&self) -> &[VarValue];
+
+    /// Number of literals.
+    fn size(&self) -> usize {
+        self.lits().len()
+    }
+
+    /// The value prohibited for `var`, if `var` appears.
+    fn prohibited_value(&self, var: VariableId) -> Option<Value> {
+        let lits = self.lits();
+        lits.binary_search_by_key(&var, |e| e.var)
+            .ok()
+            .map(|i| lits[i].value)
+    }
+
+    /// Evaluates against a partial assignment: violated iff every literal's
+    /// variable is assigned exactly the prohibited value. Unmetered — call
+    /// sites must route through the store's meter.
+    fn violated_by<F>(&self, lookup: F) -> bool
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.lits().iter().all(|e| lookup(e.var) == Some(e.value))
+    }
+}
+
+impl NogoodLits for Nogood {
+    fn lits(&self) -> &[VarValue] {
+        &self.elems
+    }
+}
+
+impl<T: NogoodLits + ?Sized> NogoodLits for &T {
+    fn lits(&self) -> &[VarValue] {
+        (**self).lits()
+    }
+}
+
+/// A borrowed nogood: a view into a canonical literal slice owned by
+/// someone else (typically a [`NogoodStore`](crate::NogoodStore) arena).
+///
+/// `Copy` and pointer-sized-ish, so hot loops can pass it by value without
+/// touching the literal data. Mirrors the read API of [`Nogood`];
+/// materialize with [`NogoodRef::to_nogood`] when an owned value is needed
+/// (e.g. to send in a message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NogoodRef<'a> {
+    elems: &'a [VarValue],
+}
+
+impl<'a> NogoodRef<'a> {
+    /// Wraps a slice that is already canonical (sorted by variable id,
+    /// deduplicated, one literal per variable). Callers inside this crate
+    /// only ever wrap slices taken from a canonical [`Nogood`].
+    pub(crate) fn from_canonical(elems: &'a [VarValue]) -> Self {
+        debug_assert!(
+            elems.windows(2).all(|w| w[0].var < w[1].var),
+            "NogoodRef slice must be canonical"
+        );
+        NogoodRef { elems }
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether this is the empty nogood.
+    pub fn is_empty(self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The elements in canonical (variable-id) order.
+    pub fn elems(self) -> &'a [VarValue] {
+        self.elems
+    }
+
+    /// Whether `var` appears in this nogood.
+    pub fn contains_var(self, var: VariableId) -> bool {
+        self.elems.binary_search_by_key(&var, |e| e.var).is_ok()
+    }
+
+    /// The value this nogood prohibits for `var`, if `var` appears.
+    pub fn value_of(self, var: VariableId) -> Option<Value> {
+        self.prohibited_value(var)
+    }
+
+    /// Iterates over the variables mentioned, in id order.
+    pub fn vars(self) -> impl Iterator<Item = VariableId> + 'a {
+        self.elems.iter().map(|e| e.var)
+    }
+
+    /// Unmetered violation test; see [`Nogood::is_violated_by`] for the
+    /// metering contract.
+    pub fn is_violated_by<F>(self, lookup: F) -> bool
+    where
+        F: Fn(VariableId) -> Option<Value>,
+    {
+        self.violated_by(lookup)
+    }
+
+    /// Whether every element of `self` also appears in `other`.
+    pub fn is_subset_of(self, other: &Nogood) -> bool {
+        self.elems
+            .iter()
+            .all(|e| other.value_of(e.var) == Some(e.value))
+    }
+
+    /// Materializes an owned [`Nogood`]. The slice is already canonical,
+    /// so this is a plain copy, not a re-sort.
+    pub fn to_nogood(self) -> Nogood {
+        Nogood {
+            elems: self.elems.to_vec(),
+        }
+    }
+}
+
+impl NogoodLits for NogoodRef<'_> {
+    fn lits(&self) -> &[VarValue] {
+        self.elems
+    }
+}
+
+impl PartialEq<Nogood> for NogoodRef<'_> {
+    fn eq(&self, other: &Nogood) -> bool {
+        self.elems == other.elems()
+    }
+}
+
+impl PartialEq<NogoodRef<'_>> for Nogood {
+    fn eq(&self, other: &NogoodRef<'_>) -> bool {
+        self.elems() == other.elems
+    }
+}
+
+impl fmt::Display for NogoodRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_literals(self.elems, f)
+    }
+}
+
+fn fmt_literals(elems: &[VarValue], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "¬(")?;
+    let mut first = true;
+    for e in elems {
+        if !first {
+            write!(f, " ")?;
+        }
+        first = false;
+        write!(f, "{e}")?;
+    }
+    write!(f, ")")
+}
+
 impl fmt::Display for Nogood {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "¬(")?;
-        let mut first = true;
-        for e in &self.elems {
-            if !first {
-                write!(f, " ")?;
-            }
-            first = false;
-            write!(f, "{e}")?;
-        }
-        write!(f, ")")
+        fmt_literals(&self.elems, f)
     }
 }
 

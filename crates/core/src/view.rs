@@ -10,7 +10,9 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{AgentId, VariableId};
+#[cfg(test)]
 use crate::nogood::Nogood;
+use crate::nogood::NogoodLits;
 use crate::priority::{Priority, Rank};
 use crate::value::Value;
 
@@ -181,9 +183,11 @@ impl AgentView {
     /// the *lowest-ranked* variable among the nogood's elements excluding
     /// `own_var` (§2.2). Returns `None` for nogoods containing no foreign
     /// variable (their violation depends on the owner alone).
-    pub fn nogood_rank(&self, nogood: &Nogood, own_var: VariableId) -> Option<Rank> {
+    pub fn nogood_rank<N: NogoodLits>(&self, nogood: N, own_var: VariableId) -> Option<Rank> {
         nogood
-            .vars()
+            .lits()
+            .iter()
+            .map(|e| e.var)
             .filter(|&v| v != own_var)
             .map(|v| self.rank_of(v))
             .min()
@@ -193,7 +197,7 @@ impl AgentView {
     /// currently holds `own_rank`: its [`AgentView::nogood_rank`] outranks
     /// the owner (§2.2). Nogoods mentioning only the owner's variable count
     /// as higher — they prohibit values unconditionally.
-    pub fn is_higher_nogood(&self, nogood: &Nogood, own_rank: Rank) -> bool {
+    pub fn is_higher_nogood<N: NogoodLits>(&self, nogood: N, own_rank: Rank) -> bool {
         match self.nogood_rank(nogood, own_rank.var()) {
             Some(rank) => rank.outranks(own_rank),
             None => true,

@@ -99,15 +99,15 @@ fn store_and_view_interact_like_an_agent_turn() {
         Nogood::of([(x(3), v(0)), (own, v(0))]), // x3 unknown: rank 0@x3, id 3 > 2 → lower
     ]);
 
-    let higher: Vec<&Nogood> = store
+    let higher: Vec<_> = store
         .iter()
-        .filter(|ng| view.is_higher_nogood(ng, own_rank))
+        .filter(|&ng| view.is_higher_nogood(ng, own_rank))
         .collect();
     assert_eq!(higher.len(), 2);
 
     // Evaluate value 1 against higher nogoods only.
     let lookup = view.lookup_with(own, v(1));
-    let violated: Vec<_> = higher.iter().filter(|ng| store.eval(ng, &lookup)).collect();
+    let violated: Vec<_> = higher.iter().filter(|&&ng| store.eval(ng, &lookup)).collect();
     assert_eq!(violated.len(), 1);
     assert_eq!(store.take_checks(), 2);
 }

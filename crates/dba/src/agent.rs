@@ -166,7 +166,7 @@ impl DbaAgent {
         self.store.charge_checks(self.store.len() as u64);
         let mut cost = 0u64;
         let mut violated = Vec::new();
-        for i in 0..self.store.len() {
+        for i in self.store.indices() {
             if self.eval.is_violated(i, value) {
                 cost += self.weights[self.weight_group[i]];
                 violated.push(i);

@@ -452,6 +452,7 @@ fn check_d2(path: &str, code: &[&Token], lines: &[&str], out: &mut Vec<(Rule, Fi
 const M1_TRIGGERS: &[&str] = &[
     "for_variable",
     "is_violated",
+    "violated_among",
     "violated_with",
     "violation_count_with",
 ];

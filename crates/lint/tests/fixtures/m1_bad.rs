@@ -8,3 +8,7 @@ pub fn consistent(&self, var: u32, val: i64) -> bool {
     }
     true
 }
+
+pub fn filter_unmetered(&self, val: i64) -> Vec<usize> {
+    self.tracker.violated_among(&self.candidates, val)
+}

@@ -14,3 +14,8 @@ pub fn consistent_incremental(&mut self, var: u32, val: i64) -> bool {
     let violated = self.cache.eval(var, val);
     !violated && !self.extra.is_violated(var)
 }
+
+pub fn violated_charged(&mut self, val: i64) -> Vec<usize> {
+    self.metrics.charge_checks(self.candidates.len() as u64);
+    self.tracker.violated_among(&self.candidates, val)
+}

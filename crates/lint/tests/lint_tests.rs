@@ -59,8 +59,9 @@ fn d2_bad_flags_all_three_sources() {
 #[test]
 fn m1_bad_flags_unmetered_query() {
     let fs = lint_fixture("m1_bad.rs");
-    assert_eq!(rule_lines(&fs, "M1"), vec![4]);
+    assert_eq!(rule_lines(&fs, "M1"), vec![4, 13]);
     assert!(fs[0].message.contains("for_variable"));
+    assert!(fs[1].message.contains("violated_among"));
 }
 
 #[test]

@@ -88,6 +88,13 @@ impl StepRecorder {
                         size,
                     });
                 }
+                AgentNote::NogoodsForgotten { count } => {
+                    sink.record(TraceEvent::NogoodForgotten {
+                        cycle,
+                        agent: id,
+                        count,
+                    });
+                }
             }
         }
     }

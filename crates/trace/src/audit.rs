@@ -77,6 +77,12 @@ pub struct Audit {
     pub sent: u64,
     /// `Delivered` events counted in the trace.
     pub delivered: u64,
+    /// Learned nogoods evicted by forgetting passes, summed over every
+    /// [`TraceEvent::NogoodForgotten`] event. Informational only:
+    /// forgetting has no [`RunMetrics`] counterpart to cross-check, and
+    /// the paper's counters (checks, cycles, messages, learning) are
+    /// unchanged by eviction.
+    pub nogoods_forgotten: u64,
     /// Events audited.
     pub events: usize,
     /// Every accounting discrepancy, as a human-pointed diagnostic.
@@ -138,6 +144,7 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
     let mut max_delay: u64 = 0;
     let mut nogoods: u64 = 0;
     let mut largest_nogood: u64 = 0;
+    let mut forgotten: u64 = 0;
     let mut max_event_cycle: u64 = 0;
 
     for event in &sorted {
@@ -166,6 +173,7 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
                 nogoods += 1;
                 largest_nogood = largest_nogood.max(*size);
             }
+            TraceEvent::NogoodForgotten { count, .. } => forgotten += count,
             _ => {}
         }
     }
@@ -265,6 +273,7 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
         total_checks,
         sent,
         delivered,
+        nogoods_forgotten: forgotten,
         events: sorted.len(),
         failures,
     })
@@ -383,6 +392,30 @@ mod tests {
         assert_eq!(report.cycles, 3);
         assert_eq!(report.sent, 3);
         assert_eq!(report.delivered, 3);
+    }
+
+    #[test]
+    fn forgetting_events_are_tallied_but_never_fail_the_audit() {
+        let mut trace = consistent_trace();
+        trace.insert(
+            trace.len() - 1,
+            TraceEvent::NogoodForgotten {
+                cycle: 2,
+                agent: AgentId::new(1),
+                count: 4,
+            },
+        );
+        trace.insert(
+            trace.len() - 1,
+            TraceEvent::NogoodForgotten {
+                cycle: 2,
+                agent: AgentId::new(0),
+                count: 1,
+            },
+        );
+        let report = audit(&trace).expect("auditable");
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.nogoods_forgotten, 5);
     }
 
     #[test]

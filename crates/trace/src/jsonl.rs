@@ -185,6 +185,17 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 agent.raw()
             );
         }
+        TraceEvent::NogoodForgotten {
+            cycle,
+            agent,
+            count,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"nogood_forgotten\",\"cycle\":{cycle},\"agent\":{},\"count\":{count}}}",
+                agent.raw()
+            );
+        }
         TraceEvent::CycleBarrier { cycle } => {
             let _ = write!(out, "{{\"ev\":\"cycle_barrier\",\"cycle\":{cycle}}}");
         }
@@ -486,6 +497,11 @@ fn event_from_object(obj: &BTreeMap<String, Json>) -> Result<TraceEvent, String>
             agent: agent_field(obj, "agent")?,
             size: num_field(obj, "size")?,
         }),
+        "nogood_forgotten" => Ok(TraceEvent::NogoodForgotten {
+            cycle,
+            agent: agent_field(obj, "agent")?,
+            count: num_field(obj, "count")?,
+        }),
         "cycle_barrier" => Ok(TraceEvent::CycleBarrier { cycle }),
         "run_end" => {
             let runtime = match str_field(obj, "runtime")? {
@@ -605,6 +621,11 @@ mod tests {
                 cycle: 4,
                 agent: AgentId::new(1),
                 size: 2,
+            },
+            TraceEvent::NogoodForgotten {
+                cycle: 4,
+                agent: AgentId::new(1),
+                count: 3,
             },
             TraceEvent::CycleBarrier { cycle: 4 },
             TraceEvent::RunEnd {

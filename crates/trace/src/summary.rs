@@ -13,6 +13,7 @@ struct AgentRow {
     sent: u64,
     received: u64,
     nogoods: u64,
+    forgotten: u64,
 }
 
 /// Renders a multi-line summary of a trace: run header, per-agent
@@ -79,6 +80,9 @@ pub fn summarize(events: &[TraceEvent]) -> String {
             TraceEvent::NogoodLearned { agent, .. } => {
                 agents.entry(agent.raw()).or_default().nogoods += 1;
             }
+            TraceEvent::NogoodForgotten { agent, count, .. } => {
+                agents.entry(agent.raw()).or_default().forgotten += count;
+            }
             TraceEvent::ValueChanged { .. } => value_changes += 1,
             TraceEvent::PriorityChanged { .. } => priority_changes += 1,
             TraceEvent::CycleBarrier { .. } => {}
@@ -104,19 +108,20 @@ pub fn summarize(events: &[TraceEvent]) -> String {
     let _ = writeln!(out, "\nper-agent activity:");
     let _ = writeln!(
         out,
-        "  {:>6} {:>7} {:>9} {:>6} {:>6} {:>8}",
-        "agent", "steps", "checks", "sent", "recv", "nogoods"
+        "  {:>6} {:>7} {:>9} {:>6} {:>6} {:>8} {:>7}",
+        "agent", "steps", "checks", "sent", "recv", "nogoods", "forgot"
     );
     for (agent, row) in &agents {
         let _ = writeln!(
             out,
-            "  {:>6} {:>7} {:>9} {:>6} {:>6} {:>8}",
+            "  {:>6} {:>7} {:>9} {:>6} {:>6} {:>8} {:>7}",
             format!("a{agent}"),
             row.steps,
             row.checks,
             row.sent,
             row.received,
-            row.nogoods
+            row.nogoods,
+            row.forgotten
         );
     }
 

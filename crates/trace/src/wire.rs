@@ -145,6 +145,16 @@ impl Wire for TraceEvent {
                 out.push(7);
                 cycle.encode(out);
             }
+            TraceEvent::NogoodForgotten {
+                cycle,
+                agent,
+                count,
+            } => {
+                out.push(9);
+                cycle.encode(out);
+                agent.encode(out);
+                count.encode(out);
+            }
             TraceEvent::RunEnd {
                 cycle,
                 runtime,
@@ -210,6 +220,11 @@ impl Wire for TraceEvent {
                 runtime: RuntimeKind::decode(r)?,
                 in_flight: r.u64("TraceEvent.in_flight")?,
                 metrics: RunMetrics::decode(r)?,
+            }),
+            9 => Ok(TraceEvent::NogoodForgotten {
+                cycle: r.u64("TraceEvent.cycle")?,
+                agent: AgentId::decode(r)?,
+                count: r.u64("TraceEvent.count")?,
             }),
             tag => Err(WireError::BadTag {
                 context: "TraceEvent",
@@ -284,6 +299,11 @@ mod tests {
             cycle: 6,
             agent: a0,
             size: 3,
+        });
+        roundtrip(TraceEvent::NogoodForgotten {
+            cycle: 7,
+            agent: a9,
+            count: 12,
         });
         roundtrip(TraceEvent::CycleBarrier { cycle: 8 });
         let mut metrics = RunMetrics::new(Termination::CutOff);

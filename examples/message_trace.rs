@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let learned: Vec<String> = agent
             .store()
             .iter()
-            .filter(|ng| !problem.nogoods().contains(ng))
+            .filter(|ng| !problem.nogoods().iter().any(|init| ng == init))
             .map(|ng| ng.to_string())
             .collect();
         println!(

@@ -31,4 +31,11 @@ cargo run --release --offline -q -p discsp-trace -- audit "$soak_traces"/*.jsonl
 echo "==> net smoke (coordinator + agent processes over loopback TCP)"
 timeout 120 cargo test -q --release --offline -p discsp-net --test net_loopback
 
+echo "==> bench smoke (store benches, reduced matrix; snapshot untouched)"
+bench_out=$(DISCSP_BENCH_SMOKE=1 cargo bench --offline -p discsp-bench --bench nogood_check 2>&1) \
+  || { echo "$bench_out"; echo "bench smoke: FAILED"; exit 1; }
+echo "$bench_out" | grep -q "benchmarks completed" \
+  || { echo "$bench_out"; echo "bench smoke: missing completion marker"; exit 1; }
+echo "$bench_out" | tail -3
+
 echo "verify: OK"
