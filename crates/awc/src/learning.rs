@@ -132,7 +132,7 @@ pub fn resolvent_selections(deadend: &Deadend<'_>) -> Vec<(Value, Nogood)> {
             );
             let selected = candidates
                 .iter()
-                .map(|&i| deadend.store.get(i).expect("stale store index"))
+                .map(|&i| deadend.store.get(i).expect("stale store index")) // lint: allow(panic-path): a stale index is a resolvent-bookkeeping bug worth crashing on loudly
                 .min_by(|a, b| {
                     a.len().cmp(&b.len()).then_with(|| {
                         let ra = deadend.view.nogood_rank(a, deadend.var);
@@ -148,7 +148,7 @@ pub fn resolvent_selections(deadend: &Deadend<'_>) -> Vec<(Value, Nogood)> {
                         }
                     })
                 })
-                .expect("candidate list is nonempty");
+                .expect("candidate list is nonempty"); // lint: allow(panic-path): unreachable — the assert! above rejects empty candidate lists
             (value, selected.to_nogood())
         })
         .collect()

@@ -165,13 +165,12 @@ impl AwcSolver {
         for a in 0..problem.num_agents() {
             let agent_id = AgentId::new(a as u32);
             let vars = problem.vars_of_agent(agent_id);
-            if vars.len() != 1 {
+            let &[var] = &vars[..] else {
                 return Err(AwcError::WrongVariableCount {
                     agent: agent_id,
                     count: vars.len(),
                 });
-            }
-            let var = vars[0];
+            };
             let domain = problem.domain(var);
             let value = init
                 .get(var)

@@ -72,7 +72,7 @@ impl Algorithm {
                 AwcSolver::new(*config)
                     .cycle_limit(cycle_limit)
                     .solve_sync(problem, init)
-                    .expect("benchmark problems are one variable per agent")
+                    .expect("benchmark problems are one variable per agent") // lint: allow(panic-path): the bench generator guarantees one variable per agent; fail fast on a bad generator
                     .outcome
                     .metrics
             }
@@ -81,7 +81,7 @@ impl Algorithm {
                     .weight_mode(*mode)
                     .cycle_limit(cycle_limit)
                     .solve_sync(problem, init)
-                    .expect("benchmark problems are one variable per agent")
+                    .expect("benchmark problems are one variable per agent") // lint: allow(panic-path): the bench generator guarantees one variable per agent; fail fast on a bad generator
                     .outcome
                     .metrics
             }
@@ -89,7 +89,7 @@ impl Algorithm {
                 AbtSolver::new()
                     .cycle_limit(cycle_limit)
                     .solve_sync(problem, init)
-                    .expect("benchmark problems are one variable per agent")
+                    .expect("benchmark problems are one variable per agent") // lint: allow(panic-path): the bench generator guarantees one variable per agent; fail fast on a bad generator
                     .outcome
                     .metrics
             }

@@ -56,8 +56,10 @@ impl Nogood {
         elems.sort();
         elems.dedup();
         for pair in elems.windows(2) {
-            if pair[0].var == pair[1].var {
-                return Err(CoreError::ConflictingNogoodElements { var: pair[0].var });
+            if let [a, b] = pair {
+                if a.var == b.var {
+                    return Err(CoreError::ConflictingNogoodElements { var: a.var });
+                }
             }
         }
         Ok(Nogood { elems })
@@ -73,6 +75,9 @@ impl Nogood {
     where
         I: IntoIterator<Item = VarValue>,
     {
+        // lint: allow(panic-path): documented panicking constructor; the
+        // runtime path (resolvent) feeds literals from one consistent
+        // agent view, where a variable cannot carry two values
         Nogood::try_new(elems).expect("conflicting nogood elements")
     }
 
@@ -229,7 +234,7 @@ impl<'a> NogoodRef<'a> {
     /// only ever wrap slices taken from a canonical [`Nogood`].
     pub(crate) fn from_canonical(elems: &'a [VarValue]) -> Self {
         debug_assert!(
-            elems.windows(2).all(|w| w[0].var < w[1].var),
+            elems.windows(2).all(|w| matches!(w, [a, b] if a.var < b.var)),
             "NogoodRef slice must be canonical"
         );
         NogoodRef { elems }

@@ -183,6 +183,8 @@ impl NogoodStore {
             }
         }
         let n = nogood.len();
+        // lint: allow(panic-path): capacity guard — nogoods are bounded by
+        // the variable count, orders of magnitude below 2^32
         let n32 = u32::try_from(n).expect("nogood holds < 2^32 literals");
         let slot_id = match self.free.pop() {
             Some(id) => {
@@ -197,7 +199,7 @@ impl NogoodStore {
                     // range is abandoned (arena growth stays bounded by
                     // the peak live footprint plus churn; see DESIGN §11).
                     slot.offset = u32::try_from(self.lits.len())
-                        .expect("literal arena holds < 2^32 literals");
+                        .expect("literal arena holds < 2^32 literals"); // lint: allow(panic-path): capacity guard; forgetting bounds the arena far below 2^32
                     slot.cap = n32;
                     self.lits.extend_from_slice(nogood.elems());
                 }
@@ -210,9 +212,11 @@ impl NogoodStore {
                 id
             }
             None => {
+                // lint: allow(panic-path): capacity guard — slot count is
+                // bounded by the forgetting budget, far below 2^32
                 let id = u32::try_from(self.slots.len()).expect("store holds < 2^32 slots");
                 let offset = u32::try_from(self.lits.len())
-                    .expect("literal arena holds < 2^32 literals");
+                    .expect("literal arena holds < 2^32 literals"); // lint: allow(panic-path): capacity guard; forgetting bounds the arena far below 2^32
                 self.lits.extend_from_slice(nogood.elems());
                 self.slots.push(Slot {
                     offset,

@@ -126,30 +126,38 @@ impl<'a> WireReader<'a> {
         Ok(&self.buf[start..self.pos])
     }
 
+    /// Consumes exactly `N` bytes into an array, or reports truncation.
+    fn take_array<const N: usize>(
+        &mut self,
+        context: &'static str,
+    ) -> Result<[u8; N], WireError> {
+        let bytes = self.take(N, context)?;
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(bytes) {
+            *dst = *src;
+        }
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
-        let bytes = self.take(1, context)?;
-        Ok(bytes[0])
+        let [b] = self.take_array(context)?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self, context: &'static str) -> Result<u16, WireError> {
-        let bytes = self.take(2, context)?;
-        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+        Ok(u16::from_le_bytes(self.take_array(context)?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
-        let bytes = self.take(4, context)?;
-        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        Ok(u32::from_le_bytes(self.take_array(context)?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
-        let bytes = self.take(8, context)?;
-        Ok(u64::from_le_bytes([
-            bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
-        ]))
+        Ok(u64::from_le_bytes(self.take_array(context)?))
     }
 
     /// Reads a collection length prefix and bounds-checks it against the

@@ -189,7 +189,7 @@ impl<'a, 'b> Search<'a, 'b> {
             let key: Vec<Value> = self
                 .assignment
                 .iter()
-                .map(|v| v.expect("total assignment"))
+                .map(|v| v.expect("total assignment")) // lint: allow(panic-path): `next` returned None, so every stamp is set and the assignment is total
                 .collect();
             if !self.cfg.forbidden.contains(&key) {
                 self.collected.push(Assignment::total(key.iter().copied()));

@@ -102,10 +102,9 @@ impl MinConflicts {
                         .any(|ng| ng.is_violated_by(assignment.lookup()))
                 })
                 .collect();
-            if conflicted.is_empty() {
+            let Some(&var) = conflicted.choose(rng) else {
                 return (Some(assignment), step);
-            }
-            let &var = conflicted.choose(rng).expect("nonempty");
+            };
             // Move `var` to the value with the fewest violated relevant
             // nogoods; random tie-break.
             let mut best: Vec<Value> = Vec::new();
@@ -124,8 +123,9 @@ impl MinConflicts {
                     best.push(d);
                 }
             }
-            let &choice = best.choose(rng).expect("domains are nonempty");
-            assignment.set(var, choice);
+            if let Some(&choice) = best.choose(rng) {
+                assignment.set(var, choice);
+            }
         }
         (None, budget)
     }

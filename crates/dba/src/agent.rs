@@ -93,7 +93,7 @@ impl DbaAgent {
         let store = NogoodStore::with_nogoods(nogoods);
         let (weights, weight_group) = match mode {
             WeightMode::PerNogood => {
-                let groups: Vec<usize> = (0..store.len()).collect();
+                let groups: Vec<usize> = store.indices().collect();
                 (vec![1; store.len()], groups)
             }
             WeightMode::PerPair => {

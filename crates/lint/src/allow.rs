@@ -8,13 +8,14 @@
 //!
 //! A finding is suppressed when its rule code matches, its path ends
 //! with the entry's path field, and the offending source line contains
-//! the entry's substring. Entries without a justification are rejected,
-//! and entries that match nothing are reported as warnings so the file
-//! cannot silently rot.
+//! the entry's substring. Entries without a justification, entries
+//! naming an unknown rule code, and entries that match nothing are all
+//! hard errors so the file cannot silently rot.
 
 use std::cell::Cell;
 
 use crate::diag::{Finding, Severity};
+use crate::rules::ALL_RULES;
 
 /// One parsed allowlist entry.
 #[derive(Debug)]
@@ -74,6 +75,27 @@ impl Allowlist {
                 });
                 continue;
             }
+            if !ALL_RULES.iter().any(|r| r.code() == fields[0]) {
+                findings.push(Finding {
+                    rule: "A0",
+                    severity: Severity::Error,
+                    path: path.to_string(),
+                    line: line_no,
+                    col: 1,
+                    message: format!(
+                        "unknown rule code `{}` in allowlist entry (expected one of {})",
+                        fields[0],
+                        ALL_RULES
+                            .iter()
+                            .map(|r| r.code())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    snippet: raw.to_string(),
+                    help: "an entry naming no real rule exempts nothing and hides a typo",
+                });
+                continue;
+            }
             if fields[3].len() < 10 {
                 findings.push(Finding {
                     rule: "A0",
@@ -120,14 +142,17 @@ impl Allowlist {
         false
     }
 
-    /// Warnings for entries that exempted nothing this run.
+    /// Errors for entries that exempted nothing this run: a stale entry
+    /// is a standing exemption for code that no longer exists, ready to
+    /// silently swallow the next unrelated finding that happens to
+    /// match it.
     pub fn unused_entries(&self) -> Vec<Finding> {
         self.entries
             .iter()
             .filter(|e| !e.used.get())
             .map(|e| Finding {
                 rule: "A0",
-                severity: Severity::Warning,
+                severity: Severity::Error,
                 path: self.path.clone(),
                 line: e.line,
                 col: 1,
@@ -192,10 +217,29 @@ mod tests {
     }
 
     #[test]
-    fn unused_entries_become_warnings() {
+    fn unused_entries_become_errors() {
         let (al, _) = Allowlist::parse("x", "P1 | never.rs | unwrap | this never matches anything\n");
         assert_eq!(al.unused_entries().len(), 1);
-        assert_eq!(al.unused_entries()[0].severity, Severity::Warning);
+        assert_eq!(al.unused_entries()[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unknown_rule_code_is_an_error() {
+        let (al, errs) = Allowlist::parse("x", "Q9 | a.rs | HashMap | maps are fine here honestly\n");
+        assert!(al.entries.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unknown rule code `Q9`"), "{}", errs[0].message);
+        assert!(errs[0].message.contains("W1"), "{}", errs[0].message);
+    }
+
+    #[test]
+    fn workspace_rule_entries_parse() {
+        let (al, errs) = Allowlist::parse(
+            "x",
+            "D3 | crates/net/src/transport.rs | Instant::now | deadline only bounds a wait\n",
+        );
+        assert!(errs.is_empty());
+        assert_eq!(al.entries.len(), 1);
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! ```text
 //! cargo run -p discsp-lint                  # lint the whole workspace
 //! cargo run -p discsp-lint -- --json       # machine-readable output
-//! cargo run -p discsp-lint -- FILE.rs ...  # lint specific files, all rules
+//! cargo run -p discsp-lint -- --timing     # per-phase wall-time table
+//! cargo run -p discsp-lint -- FILE.rs ...  # lint specific files, all per-file rules
 //! ```
 //!
-//! Exits 0 when no error-severity findings exist, 1 when any do, and
-//! 2 on usage errors. Warnings (stale allowlist entries, unused inline
+//! Exit codes: 0 clean, 1 error-severity findings, 2 usage errors, and
+//! 3 for *internal analyzer errors* (unreadable inputs, missing schema
+//! sync points, blown `--max-millis` budget) — a distinct code so CI
+//! can tell a broken lint from a dirty tree. Warnings (unused inline
 //! annotations) are printed but do not fail the run.
 
 use std::env;
@@ -17,23 +20,29 @@ use std::process::ExitCode;
 
 use discsp_lint::allow::Allowlist;
 use discsp_lint::diag::{render_json, render_text, Finding, Severity};
-use discsp_lint::rules::ALL_RULES;
-use discsp_lint::{analyze_source, analyze_workspace};
+use discsp_lint::rules::FILE_RULES;
+use discsp_lint::{analyze_source, analyze_workspace, WorkspaceReport};
 
 struct Options {
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     json: bool,
+    timing: bool,
+    max_millis: Option<u64>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: discsp-lint [--root DIR] [--allowlist FILE] [--json] [FILES...]\n\
+    "usage: discsp-lint [--root DIR] [--allowlist FILE] [--json] [--timing] \
+     [--max-millis N] [FILES...]\n\
      \n\
-     With FILES, every rule is applied to each file regardless of the\n\
-     scope map (fixture/debug mode). Without FILES, the workspace under\n\
-     --root (autodetected from the current directory) is analyzed with\n\
-     the scope map and lint-allow.list."
+     With FILES, every per-file rule is applied to each file regardless\n\
+     of the scope map (fixture/debug mode). Without FILES, the workspace\n\
+     under --root (autodetected from the current directory) is analyzed\n\
+     with the scope map, the workspace rules (P2/D3/W1), and\n\
+     lint-allow.list. --timing prints a per-phase wall-time table;\n\
+     --max-millis N makes a run slower than N ms an internal error\n\
+     (exit 3), which is how CI holds the analyzer to its budget."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -41,12 +50,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: None,
         allowlist: None,
         json: false,
+        timing: false,
+        max_millis: None,
         files: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => opts.json = true,
+            "--timing" => opts.timing = true,
+            "--max-millis" => {
+                i += 1;
+                let n = args.get(i).ok_or("--max-millis needs a number argument")?;
+                opts.max_millis =
+                    Some(n.parse().map_err(|_| format!("bad --max-millis value `{n}`"))?);
+            }
             "--root" => {
                 i += 1;
                 let dir = args.get(i).ok_or("--root needs a directory argument")?;
@@ -92,8 +110,8 @@ fn load_allowlist(path: &Path) -> (Allowlist, Vec<Finding>) {
     }
 }
 
-/// Fixture/debug mode: every rule on every named file, so rule behavior
-/// can be exercised on files outside the workspace scope map.
+/// Fixture/debug mode: every per-file rule on every named file, so rule
+/// behavior can be exercised on files outside the workspace scope map.
 fn run_on_files(opts: &Options) -> Result<Vec<Finding>, String> {
     let (allowlist, mut findings) = match &opts.allowlist {
         Some(path) => load_allowlist(path),
@@ -103,13 +121,13 @@ fn run_on_files(opts: &Options) -> Result<Vec<Finding>, String> {
         let src = fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
         let rel = file.to_string_lossy().replace('\\', "/");
-        findings.extend(analyze_source(&rel, &src, &ALL_RULES, &allowlist));
+        findings.extend(analyze_source(&rel, &src, &FILE_RULES, &allowlist));
     }
     findings.extend(allowlist.unused_entries());
     Ok(findings)
 }
 
-fn run_on_workspace(opts: &Options) -> Result<(Vec<Finding>, usize), String> {
+fn run_on_workspace(opts: &Options) -> Result<WorkspaceReport, String> {
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => detect_root().ok_or(
@@ -117,8 +135,22 @@ fn run_on_workspace(opts: &Options) -> Result<(Vec<Finding>, usize), String> {
              directory); pass --root",
         )?,
     };
-    let report = analyze_workspace(&root);
-    Ok((report.findings, report.files_scanned))
+    Ok(analyze_workspace(&root))
+}
+
+fn print_timings(report: &WorkspaceReport) {
+    println!("discsp-lint timing:");
+    for (phase, d) in &report.timings {
+        println!("  {phase:<20} {:>8.2} ms", d.as_secs_f64() * 1000.0);
+    }
+    println!(
+        "  {:<20} {:>8.2} ms  ({} files, {} fns, {} call edges)",
+        "total",
+        report.total_time().as_secs_f64() * 1000.0,
+        report.files_scanned,
+        report.fns_indexed,
+        report.call_edges,
+    );
 }
 
 fn main() -> ExitCode {
@@ -135,16 +167,39 @@ fn main() -> ExitCode {
         }
     };
 
-    let outcome = if opts.files.is_empty() {
-        run_on_workspace(&opts).map(|(f, n)| (f, Some(n)))
+    let mut internal_errors = Vec::new();
+    let (findings, files_scanned) = if opts.files.is_empty() {
+        match run_on_workspace(&opts) {
+            Ok(report) => {
+                internal_errors.extend(report.internal_errors.iter().cloned());
+                if let Some(budget) = opts.max_millis {
+                    // Microsecond resolution so `--max-millis 0` always
+                    // trips: a sub-millisecond run truncates to 0 ms.
+                    let spent_us = report.total_time().as_micros() as u64;
+                    if spent_us > budget.saturating_mul(1000) {
+                        internal_errors.push(format!(
+                            "analyzer blew its time budget: {:.2} ms > {budget} ms",
+                            spent_us as f64 / 1000.0
+                        ));
+                    }
+                }
+                if opts.timing {
+                    print_timings(&report);
+                }
+                (report.findings, Some(report.files_scanned))
+            }
+            Err(msg) => {
+                eprintln!("discsp-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
     } else {
-        run_on_files(&opts).map(|f| (f, None))
-    };
-    let (findings, files_scanned) = match outcome {
-        Ok(x) => x,
-        Err(msg) => {
-            eprintln!("discsp-lint: {msg}");
-            return ExitCode::from(2);
+        match run_on_files(&opts) {
+            Ok(f) => (f, None),
+            Err(msg) => {
+                eprintln!("discsp-lint: {msg}");
+                return ExitCode::from(2);
+            }
         }
     };
 
@@ -170,6 +225,12 @@ fn main() -> ExitCode {
         }
     }
 
+    if !internal_errors.is_empty() {
+        for e in &internal_errors {
+            eprintln!("discsp-lint: internal error: {e}");
+        }
+        return ExitCode::from(3);
+    }
     if errors > 0 {
         ExitCode::FAILURE
     } else {

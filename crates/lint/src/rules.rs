@@ -1,11 +1,14 @@
-//! The four invariant rules and the per-file analysis pass.
+//! The invariant rules and the per-file analysis pass.
 //!
-//! | code | allow name  | invariant                                            |
-//! |------|-------------|------------------------------------------------------|
-//! | D1   | `unordered` | no iteration-order-unstable collections              |
-//! | D2   | `timing`    | no wall-clock or OS entropy in simulator paths       |
-//! | M1   | `unmetered` | nogood-store queries must charge constraint checks   |
-//! | P1   | `panic`     | no panic paths in the runtime or agent step code     |
+//! | code | allow name   | invariant                                           |
+//! |------|--------------|-----------------------------------------------------|
+//! | D1   | `unordered`  | no iteration-order-unstable collections             |
+//! | D2   | `timing`     | no wall-clock or OS entropy in simulator paths      |
+//! | M1   | `unmetered`  | nogood-store queries must charge constraint checks  |
+//! | P1   | `panic`      | no panic paths in the runtime or agent step code    |
+//! | P2   | `panic-path` | workspace rule — see [`crate::wrules`]              |
+//! | D3   | `taint`      | workspace rule — see [`crate::wrules`]              |
+//! | W1   | `schema`     | workspace rule — see [`crate::wrules`]              |
 //!
 //! `A0` covers meta-problems with the suppression machinery itself
 //! (malformed annotations, stale allowlist entries) so that exemptions
@@ -31,10 +34,31 @@ pub enum Rule {
     M1,
     /// Panic paths in the runtime and agent step functions.
     P1,
+    /// Panic paths transitively reachable from runtime entry points
+    /// (workspace rule; see [`crate::wrules`]).
+    P2,
+    /// D1/D2 taint flowing through the call graph into policed code
+    /// (workspace rule; see [`crate::wrules`]).
+    D3,
+    /// Trace schema drift across its hand-written codecs (workspace
+    /// rule; see [`crate::wrules`]).
+    W1,
 }
 
-/// All rules, for fixture/debug mode where scope mapping is bypassed.
-pub const ALL_RULES: [Rule; 4] = [Rule::D1, Rule::D2, Rule::M1, Rule::P1];
+/// Every rule, per-file and workspace, for allow-name resolution.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::D1,
+    Rule::D2,
+    Rule::M1,
+    Rule::P1,
+    Rule::P2,
+    Rule::D3,
+    Rule::W1,
+];
+
+/// The per-file token rules, for fixture/debug mode where the scope
+/// mapping is bypassed.
+pub const FILE_RULES: [Rule; 4] = [Rule::D1, Rule::D2, Rule::M1, Rule::P1];
 
 impl Rule {
     /// The diagnostic code (`D1`, …).
@@ -44,6 +68,9 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::M1 => "M1",
             Rule::P1 => "P1",
+            Rule::P2 => "P2",
+            Rule::D3 => "D3",
+            Rule::W1 => "W1",
         }
     }
 
@@ -54,7 +81,16 @@ impl Rule {
             Rule::D2 => "timing",
             Rule::M1 => "unmetered",
             Rule::P1 => "panic",
+            Rule::P2 => "panic-path",
+            Rule::D3 => "taint",
+            Rule::W1 => "schema",
         }
+    }
+
+    /// Whether this rule runs over the whole workspace (call graph /
+    /// schema) rather than one file's token stream.
+    pub fn is_workspace(self) -> bool {
+        matches!(self, Rule::P2 | Rule::D3 | Rule::W1)
     }
 
     /// Remediation hint shown under each finding.
@@ -75,6 +111,21 @@ impl Rule {
             Rule::P1 => {
                 "propagate a RuntimeError (or handle the None case) so one agent's \
                  failure degrades into a reported error instead of a crash"
+            }
+            Rule::P2 => {
+                "make the helper return Option/Result (or handle the failing case) so \
+                 the panic cannot cross into the runtime, or annotate the panic site \
+                 `// lint: allow(panic-path): <why the invariant holds>`"
+            }
+            Rule::D3 => {
+                "determinism-policed code must not consume values derived from wall \
+                 time or hash order; plumb a seeded/virtual source through, or annotate \
+                 the source `// lint: allow(taint): <why the value never reaches solver \
+                 state or metrics>`"
+            }
+            Rule::W1 => {
+                "add the missing arm/tag/test alongside the other variants so every \
+                 TraceEvent codec and the Wire property tests stay exhaustive"
             }
         }
     }
@@ -163,10 +214,15 @@ struct Annotation {
 /// Inline annotations are applied here; the file-level allowlist is the
 /// caller's concern (it spans files).
 pub fn check_source(rel_path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
-    let tokens = lex(src);
+    check_tokens(rel_path, src, &lex(src), rules)
+}
+
+/// Like [`check_source`], but on an already-lexed token stream so the
+/// workspace pass can share one lex per file with the item parser.
+pub fn check_tokens(rel_path: &str, src: &str, tokens: &[Token], rules: &[Rule]) -> Vec<Finding> {
     let lines: Vec<&str> = src.lines().collect();
-    let (annotations, mut out) = parse_annotations(&tokens, rel_path);
-    let code = code_tokens(&tokens);
+    let (annotations, mut out) = parse_annotations(tokens, rel_path);
+    let code = code_tokens(tokens);
 
     let mut candidates: Vec<(Rule, Finding)> = Vec::new();
     for &rule in rules {
@@ -175,6 +231,9 @@ pub fn check_source(rel_path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
             Rule::D2 => check_d2(rel_path, &code, &lines, &mut candidates),
             Rule::M1 => check_m1(rel_path, &code, &lines, &mut candidates),
             Rule::P1 => check_p1(rel_path, &code, &lines, &mut candidates),
+            // Workspace rules have no per-file candidates; their
+            // annotations are consumed by the workspace pass in lib.rs.
+            Rule::P2 | Rule::D3 | Rule::W1 => {}
         }
     }
 
@@ -221,6 +280,35 @@ fn snippet(lines: &[&str], line: u32) -> String {
         .to_string()
 }
 
+/// A workspace-rule (`panic-path`/`taint`/`schema`) annotation, exposed
+/// to the workspace pass in `lib.rs` — the per-file pass parses all
+/// annotations but only consumes the per-file ones.
+#[derive(Debug)]
+pub struct WsAnnotation {
+    /// Rule the annotation exempts.
+    pub rule: Rule,
+    /// 1-based line of the code it exempts.
+    pub target_line: u32,
+    /// 1-based line of the comment itself (for diagnostics).
+    pub comment_line: u32,
+}
+
+/// Extracts the workspace-rule annotations from a token stream.
+/// Malformed-annotation A0 errors are *not* re-reported here — the
+/// per-file pass owns those.
+pub fn workspace_annotations(tokens: &[Token]) -> Vec<WsAnnotation> {
+    let (annotations, _) = parse_annotations(tokens, "");
+    annotations
+        .into_iter()
+        .filter(|a| a.rule.is_workspace())
+        .map(|a| WsAnnotation {
+            rule: a.rule,
+            target_line: a.target_line,
+            comment_line: a.comment_line,
+        })
+        .collect()
+}
+
 /// Extracts `lint: allow(name): justification` annotations from comment
 /// tokens. Malformed annotations become A0 errors — a typo must never
 /// silently fail open *or* closed.
@@ -242,7 +330,8 @@ fn parse_annotations(tokens: &[Token], rel_path: &str) -> (Vec<Annotation>, Vec<
             col: tok.col,
             message,
             snippet: tok.text.lines().next().unwrap_or("").to_string(),
-            help: "format: `// lint: allow(unordered|timing|unmetered|panic): <justification>`",
+            help: "format: `// lint: allow(unordered|timing|unmetered|panic|panic-path|\
+                   taint|schema): <justification>`",
         };
         let rest = tok.text[at + "lint:".len()..].trim_start();
         let Some(name_and_rest) = rest.strip_prefix("allow(") else {
@@ -256,7 +345,8 @@ fn parse_annotations(tokens: &[Token], rel_path: &str) -> (Vec<Annotation>, Vec<
         let name = name_and_rest[..close].trim();
         let Some(rule) = Rule::for_allow_name(name) else {
             findings.push(a0(format!(
-                "unknown lint allow name `{name}` (expected unordered, timing, unmetered, or panic)"
+                "unknown lint allow name `{name}` (expected unordered, timing, unmetered, \
+                 panic, panic-path, taint, or schema)"
             )));
             continue;
         };
@@ -462,9 +552,28 @@ const M1_WINDOW: u32 = 8;
 
 /// M1: every nogood-store consultation must be visible in the check
 /// counter, or maxcck undercounts and the paper's Figures 3–5 cannot be
-/// reproduced faithfully.
+/// reproduced faithfully. Positional loops over the store are a second
+/// trigger: since the arena rebuild, slot indices have holes, so
+/// `0..store.len()` iteration is wrong as well as unmetered —
+/// `entries()` / `indices()` are the only valid iteration.
 fn check_m1(path: &str, code: &[&Token], lines: &[&str], out: &mut Vec<(Rule, Finding)>) {
     for (i, t) in code.iter().enumerate() {
+        if t.kind == TokenKind::Number
+            && t.text == "0"
+            && code.get(i + 1).is_some_and(|n| n.text == ".")
+            && code.get(i + 2).is_some_and(|n| n.text == ".")
+            && positional_chain_hits_store(code, i + 3)
+        {
+            out.push(finding(
+                Rule::M1,
+                path,
+                t,
+                lines,
+                "positional loop `0..<store>.len()` over the arena-backed nogood store; \
+                 slot indices have holes — iterate entries() or indices() instead"
+                    .to_string(),
+            ));
+        }
         let is_trigger = t.kind == TokenKind::Ident
             && M1_TRIGGERS.contains(&t.text.as_str())
             && i > 0
@@ -549,9 +658,69 @@ fn check_p1(path: &str, code: &[&Token], lines: &[&str], out: &mut Vec<(Rule, Fi
                     "indexing with a literal can panic; use .get() or a checked pattern"
                         .to_string(),
                 ));
+            } else if indexee && is_bounded_range_slice(code, i) {
+                out.push(finding(
+                    Rule::P1,
+                    path,
+                    t,
+                    lines,
+                    "range-slicing with a bound (`buf[a..b]`) can panic; use .get(a..b) \
+                     or a checked pattern"
+                        .to_string(),
+                ));
             }
         }
     }
+}
+
+/// Walks the `self.foo.bar.len()` chain after a `0..` range start and
+/// reports whether it names the nogood store before reaching `.len(`.
+fn positional_chain_hits_store(code: &[&Token], mut j: usize) -> bool {
+    let mut hits_store = false;
+    while let Some(u) = code.get(j) {
+        if u.kind == TokenKind::Ident {
+            if u.text == "len" && code.get(j + 1).is_some_and(|n| n.text == "(") {
+                return hits_store;
+            }
+            let lower = u.text.to_ascii_lowercase();
+            if lower.contains("store") || lower.contains("nogood") {
+                hits_store = true;
+            }
+        } else if u.text != "." {
+            return false;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Looks inside `indexee[ ... ]` (with `open` at the `[`) for a range
+/// expression with at least one bound. `buf[..]` reslices the whole
+/// thing and cannot panic; `buf[a..b]`, `buf[..b]`, `buf[a..]`, and
+/// `buf[a..=b]` all can.
+fn is_bounded_range_slice(code: &[&Token], open: usize) -> bool {
+    let mut depth = 0usize;
+    let mut has_range = false;
+    let mut has_bound = false;
+    for j in open..code.len() {
+        match code[j].text.as_str() {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return has_range && has_bound;
+                }
+            }
+            "." if depth == 1 && code.get(j + 1).is_some_and(|n| n.text == ".") => {
+                has_range = true;
+            }
+            _ if depth >= 1 && code[j].text != "." && code[j].text != "=" => {
+                has_bound = true;
+            }
+            _ => {}
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -661,6 +830,55 @@ mod tests {
     fn p1_ignores_array_type_and_literal() {
         let src = "fn f() { let a: [u8; 4] = [0, 1, 2, 3]; let s = &a[..]; g(&a); }\n";
         assert!(run(&[Rule::P1], src).is_empty());
+    }
+
+    #[test]
+    fn p1_flags_bounded_range_slices_but_not_full_reslice() {
+        let src = "fn f(buf: &[u8], n: usize) {\n\
+                   let a = &buf[1..4];\n\
+                   let b = &buf[..n];\n\
+                   let c = &buf[n..];\n\
+                   let d = &buf[x.min(y)..=n];\n\
+                   let e = &buf[..];\n\
+                   let m = map[k];\n\
+                   }\n";
+        let fs = run(&[Rule::P1], src);
+        assert_eq!(codes(&fs), vec!["P1", "P1", "P1", "P1"]);
+        assert_eq!(fs.iter().map(|f| f.line).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        assert!(fs[0].message.contains("range-slicing"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn m1_flags_positional_loops_over_the_store_only() {
+        let bad = "fn f(&self) { for i in 0..self.store.len() { use_slot(i); } }\n";
+        assert_eq!(codes(&run(&[Rule::M1], bad)), vec!["M1"]);
+
+        // Metering does not excuse positional iteration: slot indices
+        // have holes after forgetting.
+        let metered = "fn f(&mut self) {\n\
+                       self.metrics.charge_checks(1);\n\
+                       for i in 0..self.nogood_store.len() { use_slot(i); }\n}\n";
+        assert_eq!(codes(&run(&[Rule::M1], metered)), vec!["M1"]);
+
+        let other_len = "fn f(&self) { for i in 0..self.queue.len() { use_slot(i); } }\n";
+        assert!(run(&[Rule::M1], other_len).is_empty());
+
+        let entries = "fn f(&mut self) {\n\
+                       self.metrics.charge_checks(n);\n\
+                       for (i, ng) in self.store.entries() { g(i, ng); }\n}\n";
+        assert!(run(&[Rule::M1], entries).is_empty());
+    }
+
+    #[test]
+    fn workspace_allow_names_parse_without_per_file_noise() {
+        // A panic-path/taint/schema annotation is the workspace pass's
+        // business; the per-file pass must neither reject it nor flag
+        // it as unused.
+        let src = "// lint: allow(panic-path): capacity bounded by MAX_NOGOODS\n\
+                   fn f() {}\n\
+                   // lint: allow(taint): value only feeds logging\n\
+                   fn g() {}\n";
+        assert!(run(&FILE_RULES, src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! P1 range-slice fixture: bounded slices panic when bounds lie outside
+//! the buffer; only the full reslice `[..]` is total.
+
+pub fn frame(buf: &[u8], a: usize, b: usize) -> (&[u8], &[u8], &[u8], &[u8]) {
+    let head = &buf[..b];
+    let tail = &buf[a..];
+    let body = &buf[a..b];
+    let fixed = &buf[4..=8];
+    let whole = &buf[..];
+    let _ = whole;
+    (head, tail, body, fixed)
+}

@@ -1,0 +1,5 @@
+//! Fixture: wall-clock seed in a crate the per-file D2 rule skips.
+
+pub fn seed_from_clock() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: determinism-policed scheduler consuming the tainted seed.
+
+pub fn reseed() -> u64 {
+    seed::seed_from_clock()
+}

@@ -1,0 +1,5 @@
+//! Fixture: wall clock bounding a wait; no value escapes to callers.
+
+pub fn warm_up() {
+    let _t = Instant::now();
+}

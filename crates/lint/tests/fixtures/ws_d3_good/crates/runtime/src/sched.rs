@@ -1,0 +1,5 @@
+//! Fixture: the policed caller is fine as long as nothing flows back.
+
+pub fn reseed() {
+    seed::warm_up();
+}

@@ -1,0 +1,5 @@
+//! Fixture: helper outside the P1 scope with a panic path.
+
+pub fn pick_first(values: &[i64]) -> i64 {
+    values.first().copied().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: runtime entry point whose helper panics one crate away.
+
+pub fn run_cycle(values: &[i64]) -> i64 {
+    util::pick_first(values)
+}

@@ -1,0 +1,5 @@
+//! Fixture: helper that reports absence instead of panicking.
+
+pub fn pick_first(values: &[i64]) -> Option<i64> {
+    values.first().copied()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the same call shape with the panic path designed out.
+
+pub fn run_cycle(values: &[i64]) -> i64 {
+    util::pick_first(values).unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+//! Fixture auditor: every variant accounted for.
+
+pub fn audit(event: &TraceEvent) -> u64 {
+    match event {
+        TraceEvent::AgentStep { checks, .. } => *checks,
+        TraceEvent::NogoodLearned { size, .. } => *size,
+        TraceEvent::RunEnd { cycle } => *cycle,
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture JSONL codec: the `NogoodLearned` decode arm was removed.
+
+pub fn event_to_json(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::AgentStep { .. } => row("agent_step"),
+        TraceEvent::NogoodLearned { .. } => row("nogood_learned"),
+        TraceEvent::RunEnd { .. } => row("run_end"),
+    }
+}
+
+pub fn event_from_object(kind: &str) -> Option<TraceEvent> {
+    match kind {
+        "agent_step" => Some(TraceEvent::AgentStep { cycle: 0, checks: 0 }),
+        "run_end" => Some(TraceEvent::RunEnd { cycle: 0 }),
+        _ => None,
+    }
+}

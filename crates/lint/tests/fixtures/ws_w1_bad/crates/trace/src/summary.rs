@@ -1,0 +1,9 @@
+//! Fixture summarizer: every variant accounted for.
+
+pub fn summarize(event: &TraceEvent) -> &'static str {
+    match event {
+        TraceEvent::AgentStep { .. } => "step",
+        TraceEvent::NogoodLearned { .. } => "learned",
+        TraceEvent::RunEnd { .. } => "end",
+    }
+}

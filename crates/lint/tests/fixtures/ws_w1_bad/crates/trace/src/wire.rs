@@ -1,0 +1,19 @@
+//! Fixture wire codec: `RunEnd` reuses `NogoodLearned`'s tag.
+
+impl Wire for TraceEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TraceEvent::AgentStep { .. } => out.push(0),
+            TraceEvent::NogoodLearned { .. } => out.push(1),
+            TraceEvent::RunEnd { .. } => out.push(1),
+        }
+    }
+
+    fn decode(reader: &mut Reader) -> Result<Self, Error> {
+        match reader.tag() {
+            0 => Ok(TraceEvent::AgentStep { cycle: 0, checks: 0 }),
+            1 => Ok(TraceEvent::NogoodLearned { cycle: 0, size: 0 }),
+            _ => Ok(TraceEvent::RunEnd { cycle: 0 }),
+        }
+    }
+}

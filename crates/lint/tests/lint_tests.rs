@@ -140,7 +140,108 @@ fn file_allowlist_suppresses_and_reports_stale_entries() {
     let stale = allow.unused_entries();
     assert_eq!(stale.len(), 1);
     assert_eq!(stale[0].line, 2);
-    assert_eq!(stale[0].severity, Severity::Warning);
+    // A stale entry is dead suppression machinery: an error, not a nag.
+    assert_eq!(stale[0].severity, Severity::Error);
+}
+
+#[test]
+fn unknown_rule_code_in_allowlist_is_a_pointed_error() {
+    let (_, errs) = Allowlist::parse(
+        "lint-allow.list",
+        "Q9 | crates/core/src/lib.rs | whatever | a rule code that does not exist\n",
+    );
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].rule, "A0");
+    assert_eq!(errs[0].severity, Severity::Error);
+    assert!(errs[0].message.contains("unknown rule code `Q9`"), "{}", errs[0].message);
+    assert!(errs[0].message.contains("W1"), "message should list valid codes");
+}
+
+#[test]
+fn p1_range_slice_fixture_flags_every_bounded_shape() {
+    let fs = lint_fixture("p1_range_bad.rs");
+    // `..b`, `a..`, `a..b`, `4..=8` — the full reslice on line 9 is total.
+    assert_eq!(rule_lines(&fs, "P1"), vec![5, 6, 7, 8]);
+    assert!(fs[0].message.contains("range-slicing"));
+}
+
+#[test]
+fn m1_positional_loop_fixture_flags_indexed_iteration_only() {
+    let fs = lint_fixture("m1_positional_bad.rs");
+    // Metering does not excuse positional iteration: the handle-based
+    // sweep below it is the sanctioned shape.
+    assert_eq!(rule_lines(&fs, "M1"), vec![7]);
+    assert!(fs[0].message.contains("positional"), "{}", fs[0].message);
+}
+
+fn fixture_workspace(name: &str) -> discsp_lint::WorkspaceReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    analyze_workspace(&root)
+}
+
+#[test]
+fn ws_p2_bad_reports_the_reachable_panic_with_a_blame_chain() {
+    let report = fixture_workspace("ws_p2_bad");
+    assert!(report.internal_errors.is_empty(), "{:?}", report.internal_errors);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "P2");
+    assert_eq!(f.path, "crates/core/src/util.rs");
+    assert_eq!(f.line, 4);
+    assert!(
+        f.message.contains("`run_cycle` (crates/runtime/src/sync.rs:4)"),
+        "blame chain names the entry point and call site: {}",
+        f.message
+    );
+}
+
+#[test]
+fn ws_p2_good_is_clean_once_the_helper_returns_option() {
+    let report = fixture_workspace("ws_p2_good");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.internal_errors.is_empty());
+}
+
+#[test]
+fn ws_d3_bad_reports_the_tainted_seed_at_its_source() {
+    let report = fixture_workspace("ws_d3_bad");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "D3");
+    assert_eq!(f.path, "crates/probgen/src/seed.rs");
+    assert_eq!(f.line, 4);
+    assert!(
+        f.message.contains("`reseed` (crates/runtime/src/sched.rs:4)"),
+        "chain names the policed consumer: {}",
+        f.message
+    );
+}
+
+#[test]
+fn ws_d3_good_is_clean_when_no_value_escapes() {
+    let report = fixture_workspace("ws_d3_good");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn ws_w1_bad_catches_the_removed_jsonl_arm_and_the_duplicate_wire_tag() {
+    let report = fixture_workspace("ws_w1_bad");
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    let jsonl = &report.findings[0];
+    assert_eq!(jsonl.rule, "W1");
+    assert_eq!(jsonl.path, "crates/trace/src/jsonl.rs");
+    assert!(
+        jsonl.message.contains("`TraceEvent::NogoodLearned` has no JSONL decode arm"),
+        "{}",
+        jsonl.message
+    );
+    let tag = &report.findings[1];
+    assert_eq!(tag.rule, "W1");
+    assert_eq!(tag.path, "crates/trace/src/wire.rs");
+    assert_eq!(tag.line, 8);
+    assert!(tag.message.contains("wire tag 1 is pushed twice"), "{}", tag.message);
 }
 
 #[test]
@@ -194,6 +295,62 @@ fn binary_exits_zero_on_clean_workspace() {
     assert_eq!(output.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("discsp-lint: clean"));
+}
+
+#[test]
+fn binary_json_workspace_output_matches_the_golden_snapshot() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws_p2_bad");
+    let output = Command::new(env!("CARGO_BIN_EXE_discsp-lint"))
+        .arg("--json")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let golden = fixture("ws_p2_bad.golden.json");
+    assert_eq!(
+        stdout.trim(),
+        golden.trim(),
+        "machine-readable output is part of the interface; if this change \
+         is intentional, regenerate the golden file with \
+         `discsp-lint --json --root crates/lint/tests/fixtures/ws_p2_bad`"
+    );
+}
+
+#[test]
+fn binary_timing_prints_the_phase_table() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws_p2_good");
+    let output = Command::new(env!("CARGO_BIN_EXE_discsp-lint"))
+        .arg("--timing")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for phase in ["read + lex", "per-file rules", "parse + call graph", "workspace rules", "total"] {
+        assert!(stdout.contains(phase), "timing table lists `{phase}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn binary_blown_budget_is_an_internal_error_with_exit_code_3() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws_p2_good");
+    let output = Command::new(env!("CARGO_BIN_EXE_discsp-lint"))
+        .arg("--max-millis")
+        .arg("0")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "internal errors must be distinguishable from findings (1) and usage (2)"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("time budget"), "{stderr}");
 }
 
 #[test]

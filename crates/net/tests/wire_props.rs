@@ -3,14 +3,15 @@
 //! frames always come back as typed errors — never a panic, never a
 //! bogus success that re-encodes differently.
 
-use discsp_awc::{AwcConfig, AwcMessage};
+use discsp_awc::{AwcConfig, AwcMessage, Learning};
 use discsp_core::{
-    AgentId, Domain, Nogood, Priority, Value, VarValue, VariableId, Wire, WireError,
+    AgentId, Assignment, Domain, MessageClass, Nogood, Priority, RunMetrics, Termination, Value,
+    VarValue, VariableId, Wire, WireError,
 };
 use discsp_dba::{DbaMessage, WeightMode};
 use discsp_net::{AgentSlice, AlgoSpec, RunFrame, SetupFrame, WIRE_VERSION};
-use discsp_runtime::{AgentStats, Envelope, LinkPolicy, SplitMix64};
-use discsp_trace::TraceEvent;
+use discsp_runtime::{AgentStats, Envelope, LinkPolicy, LinkStats, SplitMix64};
+use discsp_trace::{FaultKind, RuntimeKind, TraceEvent};
 
 const TRIALS: u64 = 200;
 
@@ -248,6 +249,91 @@ fn gen_dba_run_frame(rng: &mut SplitMix64) -> RunFrame<DbaMessage> {
     }
 }
 
+fn gen_assignment(rng: &mut SplitMix64) -> Assignment {
+    let n = rng.next_below(8) as usize;
+    let mut assignment = Assignment::empty(n);
+    for index in 0..n {
+        if rng.next_below(2) == 0 {
+            assignment.set(VariableId::new(index as u32), gen_value(rng, 8));
+        }
+    }
+    assignment
+}
+
+fn gen_termination(rng: &mut SplitMix64) -> Termination {
+    match rng.next_below(3) {
+        0 => Termination::Solved,
+        1 => Termination::CutOff,
+        _ => Termination::Insoluble,
+    }
+}
+
+fn gen_metrics(rng: &mut SplitMix64) -> RunMetrics {
+    let mut metrics = RunMetrics::new(gen_termination(rng));
+    metrics.cycles = rng.next_below(1 << 20);
+    metrics.maxcck = rng.next_below(1 << 30);
+    metrics.total_checks = rng.next_below(1 << 30);
+    metrics.ok_messages = rng.next_below(1 << 30);
+    metrics.nogood_messages = rng.next_below(1 << 30);
+    metrics.other_messages = rng.next_below(1 << 20);
+    metrics.nogoods_generated = rng.next_below(1 << 30);
+    metrics.redundant_nogoods = rng.next_below(1 << 30);
+    metrics.largest_nogood = rng.next_below(64);
+    metrics.messages_sent = rng.next_below(1 << 30);
+    metrics.messages_dropped = rng.next_below(1 << 20);
+    metrics.messages_duplicated = rng.next_below(1 << 20);
+    metrics.messages_reordered = rng.next_below(1 << 20);
+    metrics.messages_retransmitted = rng.next_below(1 << 20);
+    metrics.max_delivery_delay = rng.next_below(64);
+    metrics
+}
+
+fn gen_link_stats(rng: &mut SplitMix64) -> LinkStats {
+    LinkStats {
+        sent: rng.next_below(1 << 30),
+        dropped: rng.next_below(1 << 20),
+        duplicated: rng.next_below(1 << 20),
+        reordered: rng.next_below(1 << 20),
+        retransmitted: rng.next_below(1 << 20),
+        max_delay: rng.next_below(64),
+    }
+}
+
+fn gen_fault_kind(rng: &mut SplitMix64) -> FaultKind {
+    match rng.next_below(5) {
+        0 => FaultKind::Dropped,
+        1 => FaultKind::Duplicated,
+        2 => FaultKind::Reordered,
+        3 => FaultKind::Delayed(rng.next_below(64)),
+        _ => FaultKind::Retransmitted,
+    }
+}
+
+fn gen_runtime_kind(rng: &mut SplitMix64) -> RuntimeKind {
+    match rng.next_below(4) {
+        0 => RuntimeKind::Sync,
+        1 => RuntimeKind::Virtual,
+        2 => RuntimeKind::Async,
+        _ => RuntimeKind::Net,
+    }
+}
+
+fn gen_message_class(rng: &mut SplitMix64) -> MessageClass {
+    match rng.next_below(3) {
+        0 => MessageClass::Ok,
+        1 => MessageClass::Nogood,
+        _ => MessageClass::Other,
+    }
+}
+
+fn gen_learning(rng: &mut SplitMix64) -> Learning {
+    match rng.next_below(3) {
+        0 => Learning::Resolvent,
+        1 => Learning::Mcs,
+        _ => Learning::None,
+    }
+}
+
 /// Asserts the three codec properties on one value: exact roundtrip,
 /// every strict prefix is a typed error, and every single-byte
 /// corruption either errors or decodes to *something* that re-encodes
@@ -308,6 +394,52 @@ fn dba_run_frames_roundtrip_and_reject_damage() {
     for _ in 0..TRIALS {
         let frame = gen_dba_run_frame(&mut rng);
         assert_codec_properties(&frame);
+    }
+}
+
+/// Same properties as [`assert_codec_properties`] minus the version
+/// byte: standalone vocabulary types are versioned by the frame that
+/// carries them, not by their own encoding.
+fn assert_value_codec_properties<F>(value: &F)
+where
+    F: Wire + PartialEq + std::fmt::Debug,
+{
+    let bytes = value.to_bytes();
+    assert_eq!(&F::from_bytes(&bytes).expect("roundtrip"), value);
+
+    for cut in 0..bytes.len() {
+        assert!(
+            F::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0xA5;
+        if let Ok(decoded) = F::from_bytes(&corrupt) {
+            let again = decoded.to_bytes();
+            assert_eq!(
+                F::from_bytes(&again).expect("re-decode of re-encode"),
+                decoded
+            );
+        }
+    }
+}
+
+#[test]
+fn standalone_wire_impls_roundtrip_and_reject_damage() {
+    let mut rng = SplitMix64::new(0xC0DE_5070);
+    for _ in 0..TRIALS {
+        assert_value_codec_properties(&gen_assignment(&mut rng));
+        assert_value_codec_properties(&gen_message_class(&mut rng));
+        assert_value_codec_properties(&gen_termination(&mut rng));
+        assert_value_codec_properties(&gen_metrics(&mut rng));
+        assert_value_codec_properties(&gen_link_stats(&mut rng));
+        assert_value_codec_properties(&gen_learning(&mut rng));
+        assert_value_codec_properties(&gen_fault_kind(&mut rng));
+        assert_value_codec_properties(&gen_runtime_kind(&mut rng));
     }
 }
 

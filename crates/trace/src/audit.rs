@@ -174,7 +174,10 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
                 largest_nogood = largest_nogood.max(*size);
             }
             TraceEvent::NogoodForgotten { count, .. } => forgotten += count,
-            _ => {}
+            // Decision events record what an agent chose, not how much it
+            // spent choosing; they carry nothing to cross-check.
+            TraceEvent::ValueChanged { .. } | TraceEvent::PriorityChanged { .. } => {}
+            TraceEvent::RunEnd { .. } => {}
         }
     }
 

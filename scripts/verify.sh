@@ -16,8 +16,8 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> discsp-lint (workspace invariants: determinism, metrics, panic safety)"
-cargo run --release --offline -q -p discsp-lint
+echo "==> discsp-lint (workspace invariants: determinism, metrics, panic safety, schema sync)"
+cargo run --release --offline -q -p discsp-lint -- --timing --max-millis 1000
 
 echo "==> fault-injection soak (seed sweep over lossy/delayed/reordering links)"
 soak_traces="target/fault-soak-traces"
