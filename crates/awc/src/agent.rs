@@ -78,6 +78,20 @@ impl AwcConfig {
         }
     }
 
+    /// Whether this configuration retains AWC's completeness guarantee.
+    /// The termination proof needs every generated nogood recorded and
+    /// kept: bounded recording (`kthRslv`), disabled recording
+    /// (`/norec`), mcs minimization's restricted store, no learning, and
+    /// forgetting all allow the search to revisit dead ends forever.
+    /// Oracles (the fault-schedule explorer) treat a cutoff on a
+    /// solvable instance as a bug only when this returns true.
+    pub fn is_complete(&self) -> bool {
+        self.learning == Learning::Resolvent
+            && self.record_bound.is_none()
+            && self.record_received
+            && self.forget_limit.is_none()
+    }
+
     /// Caps the learned-nogood store at `limit` entries, evicting the
     /// least active learned nogoods at the start of each review.
     pub fn with_forget_limit(self, limit: usize) -> Self {

@@ -150,6 +150,14 @@ impl AwcSolver {
         self.config
     }
 
+    /// Whether the deployed configuration retains AWC's completeness
+    /// guarantee (see [`AwcConfig::is_complete`]). Complete
+    /// configurations must terminate on every finite instance, so a
+    /// cutoff under a generous budget is a bug, not bad luck.
+    pub fn is_complete(&self) -> bool {
+        self.config.is_complete()
+    }
+
     /// Builds one agent per problem agent, seeded with `init`.
     ///
     /// # Errors

@@ -70,8 +70,8 @@ pub struct RunMetrics {
     /// The largest nogood generated during the run (0 when none).
     pub largest_nogood: u64,
     /// Messages handed to the link layer by agents (before any injected
-    /// fault). With perfect links this equals [`RunMetrics::total_messages`]
-    /// minus shutdown-dropped sends.
+    /// fault). With perfect links this equals
+    /// [`RunMetrics::total_messages`].
     pub messages_sent: u64,
     /// Messages dropped by an injected link fault (later retransmitted by
     /// the link layer's recovery pass, so protocols keep their
@@ -113,12 +113,12 @@ impl RunMetrics {
         }
     }
 
-    /// Total messages of all kinds. Classes are counted per successfully
-    /// enqueued copy, so this equals
+    /// Total messages of all kinds. Classes are counted per enqueued
+    /// copy, so this equals
     /// `messages_sent - messages_dropped + messages_duplicated +
-    /// messages_retransmitted` exactly on the deterministic runtimes (and
-    /// is at most that on the threaded runtime, where sends racing
-    /// shutdown are discarded uncounted).
+    /// messages_retransmitted` exactly on every runtime: the threaded
+    /// runtime holds each worker's receiver open until all workers stop
+    /// dispatching, so no counted send is ever discarded at shutdown.
     pub fn total_messages(&self) -> u64 {
         self.ok_messages + self.nogood_messages + self.other_messages
     }

@@ -116,6 +116,14 @@ impl DbaSolver {
         self
     }
 
+    /// Always false: the distributed breakout is a local-search method
+    /// (§4.3) and may wander forever even on solvable instances, so
+    /// oracles must tolerate cutoffs. The counterpart of
+    /// `AwcSolver::is_complete`.
+    pub fn is_complete(&self) -> bool {
+        false
+    }
+
     /// Selects the weight placement mode.
     pub fn weight_mode(mut self, mode: WeightMode) -> Self {
         self.mode = mode;

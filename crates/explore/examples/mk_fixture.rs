@@ -1,0 +1,76 @@
+//! One-off generator for `tests/explore_repros/` fixtures: reproduces
+//! the first campaign's non-quiescence finding (AWC on K4 under the
+//! `hostile` policy) at a small nudge budget and minimizes it.
+
+use discsp_core::Termination;
+use discsp_explore::{ddmin, Algo, Repro, Subject};
+use discsp_runtime::{FaultSchedule, LinkPolicy, VirtualConfig};
+
+fn burns_budget(subject: &Subject, base: &VirtualConfig, schedule: &FaultSchedule) -> bool {
+    let config = VirtualConfig {
+        schedule: Some(schedule.clone()),
+        link: LinkPolicy::perfect(),
+        ..base.clone()
+    };
+    match subject.run(&config) {
+        Ok(r) => {
+            r.outcome.metrics.termination == Termination::CutOff && r.nudges >= base.max_nudges
+        }
+        Err(_) => false,
+    }
+}
+
+fn main() {
+    let subject = Subject::k4(Algo::Awc).unwrap();
+    for seed in 0..40u64 {
+        let base = VirtualConfig {
+            seed,
+            link: LinkPolicy::lossy(150_000)
+                .with_duplication(100_000)
+                .with_delay(0, 3)
+                .with_reordering(2),
+            schedule: None,
+            max_ticks: 5_000,
+            max_nudges: 5,
+            stop_on_first_solution: false,
+            record_trace: true,
+        };
+        let report = subject.run(&base).unwrap();
+        let exhausted = report.outcome.metrics.termination == Termination::CutOff
+            && report.nudges >= base.max_nudges;
+        println!(
+            "seed {seed}: term {:?} nudges {} ticks {} log {}",
+            report.outcome.metrics.termination,
+            report.nudges,
+            report.ticks,
+            report.fault_log.len()
+        );
+        if !exhausted {
+            continue;
+        }
+        if !burns_budget(&subject, &base, &report.fault_log) {
+            println!("  scripted replay does not carry the signature");
+            continue;
+        }
+        let out = ddmin(report.fault_log.events(), |s| {
+            burns_budget(&subject, &base, s)
+        });
+        println!(
+            "  minimized {} -> {} events in {} tests",
+            report.fault_log.len(),
+            out.schedule.len(),
+            out.tests
+        );
+        let repro = Repro {
+            algo: Algo::Awc,
+            instance: discsp_explore::Instance::K4,
+            run_seed: seed,
+            max_ticks: base.max_ticks,
+            max_nudges: base.max_nudges,
+            violation: "non-quiescence".to_string(),
+            schedule: out.schedule,
+        };
+        println!("---\n{}---", repro.to_text());
+        break;
+    }
+}

@@ -168,6 +168,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/cspsolve/src/",
         "crates/probgen/src/",
         "crates/bench/src/",
+        "crates/explore/src/",
     ]) {
         rules.push(Rule::D1);
     }
@@ -179,6 +180,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/dba/src/",
         "crates/net/src/",
         "crates/bench/src/",
+        "crates/explore/src/",
     ]) && !D2_EXEMPT_VIRTUAL_CLOCK.contains(&p.as_str())
         && !D2_EXEMPT_NET_TRANSPORT.contains(&p.as_str())
     {
@@ -190,6 +192,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     if p.starts_with("crates/runtime/src/")
         || (p.starts_with("crates/net/src/") && p != "crates/net/src/main.rs")
         || (p.starts_with("crates/trace/src/") && p != "crates/trace/src/main.rs")
+        || (p.starts_with("crates/explore/src/") && p != "crates/explore/src/main.rs")
         || p == "crates/awc/src/agent.rs"
         || p == "crates/awc/src/abt.rs"
         || p == "crates/dba/src/agent.rs"
@@ -911,6 +914,17 @@ mod tests {
             vec![Rule::D1, Rule::D2, Rule::P1]
         );
         assert_eq!(rules_for("crates/trace/src/main.rs"), vec![Rule::D1, Rule::D2]);
+        // The explorer judges runs and minimizes schedules: ordered
+        // containers and virtual time only, panic-policed library code,
+        // with the usual main.rs carve-out for the CLI.
+        assert_eq!(
+            rules_for("crates/explore/src/campaign.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
+        assert_eq!(
+            rules_for("crates/explore/src/main.rs"),
+            vec![Rule::D1, Rule::D2]
+        );
     }
 
     #[test]

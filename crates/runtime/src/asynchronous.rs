@@ -140,6 +140,13 @@ struct Shared {
     /// by a drop sentinel during unwind so the observer can stop the run
     /// without waiting out the wall clock.
     panicked: AtomicU64,
+    /// Workers done dispatching. Each worker holds its receiver open
+    /// until every peer passes this barrier, so no send in an
+    /// error-free run can ever hit a disconnected channel — which
+    /// would silently uncount an already-charged message and break the
+    /// conservation identity (the link layer counts at route time, the
+    /// class counters at enqueue time).
+    exited: AtomicU64,
 }
 
 /// Set on unwind by each worker thread so a dying agent is noticed
@@ -161,6 +168,11 @@ impl Drop for PanicSentinel<'_> {
                     Ordering::SeqCst,
                 )
                 .ok();
+            // Count the dying worker as exited so surviving peers do
+            // not wait for it at the shutdown barrier (they also bail
+            // on the `panicked` flag; the run reports an error either
+            // way, so its accounting no longer matters).
+            self.shared.exited.fetch_add(1, Ordering::SeqCst);
         }
     }
 }
@@ -209,6 +221,7 @@ where
         other_messages: AtomicU64::new(0),
         bad_recipient: AtomicU64::new(0),
         panicked: AtomicU64::new(0),
+        exited: AtomicU64::new(0),
     });
 
     let (senders, receivers): (Vec<Sender<Timed<A::Message>>>, Vec<_>) =
@@ -246,7 +259,7 @@ where
             let mut checks_total: u64 = 0;
             worker(
                 &mut agent,
-                rx,
+                &rx,
                 &senders,
                 &shared,
                 jitter,
@@ -255,6 +268,19 @@ where
                 &mut sink,
                 &mut checks_total,
             );
+            // Shutdown barrier: hold `rx` open until every worker is done
+            // dispatching (see `Shared::exited`), so a peer mid-dispatch
+            // never hits a disconnected channel and every message the
+            // link layer charged is also counted by class. `panicked`
+            // breaks the wait in case a dying peer's sentinel has not
+            // unwound far enough to count it yet.
+            shared.exited.fetch_add(1, Ordering::SeqCst);
+            while (shared.exited.load(Ordering::SeqCst) as usize) < senders.len()
+                && shared.panicked.load(Ordering::SeqCst) == 0
+            {
+                thread::sleep(Duration::from_micros(20));
+            }
+            drop(rx);
             let mut faults = LinkStats::default();
             for link in &links {
                 faults.absorb(link.stats);
@@ -420,7 +446,7 @@ where
 #[allow(clippy::too_many_arguments)]
 fn worker<A: DistributedAgent>(
     agent: &mut A,
-    rx: Receiver<Timed<A::Message>>,
+    rx: &Receiver<Timed<A::Message>>,
     senders: &[Sender<Timed<A::Message>>],
     shared: &Shared,
     jitter_micros: u64,
@@ -626,9 +652,14 @@ fn dispatch<M: Classify + Clone>(
                 env.clone()
             };
             let Some(copy) = copy else { continue };
-            // A send can fail only during shutdown, when the receiver
-            // exited; the message no longer matters but the counters must
-            // stay exact.
+            // The shutdown barrier keeps every receiver open until all
+            // workers stop dispatching, so on error-free runs this send
+            // cannot fail — the class counters stay equal to the
+            // link-charged traffic and the conservation identity holds
+            // exactly. A failure is only reachable when a peer panicked
+            // mid-run (its channel died with it); the run then reports
+            // `AgentPanicked` and the metrics are discarded, so we only
+            // keep the in-flight count sane for the observer.
             if sender.send(Timed { due, env: copy }).is_ok() {
                 count_class(class, shared);
             } else {
@@ -681,6 +712,9 @@ fn flush_parked<M: Classify + Clone>(
         }
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let class = env.payload.class();
+        // As in `dispatch`: the shutdown barrier makes a failed send
+        // unreachable outside a peer-panic run, whose metrics are
+        // discarded anyway.
         if sender.send(Timed { due, env }).is_ok() {
             count_class(class, shared);
         } else {
@@ -900,6 +934,163 @@ mod tests {
         let audit = discsp_trace::audit(&report.trace).expect("trace is sealed by RunEnd");
         assert!(audit.passed(), "audit failures: {:?}", audit.failures);
         assert_eq!(audit.metrics, report.outcome.metrics);
+    }
+
+    /// Agents that flood every peer and one of which declares the
+    /// problem insoluble as soon as it has heard anything. Its worker
+    /// then leaves the receive loop while the peers are still
+    /// mid-storm — the exact window in which a dropped receiver used to
+    /// make sends fail after the link layer had already charged them,
+    /// silently breaking the conservation identity.
+    struct StormAgent {
+        id: AgentId,
+        n: usize,
+        budget: u32,
+        heard: u32,
+        insoluble_after: Option<u32>,
+    }
+
+    impl StormAgent {
+        fn flood(&self, out: &mut Outbox<Gossip>) {
+            for j in 0..self.n {
+                if j != self.id.index() {
+                    out.send(AgentId::new(j as u32), Gossip(Value::TRUE));
+                }
+            }
+        }
+    }
+
+    impl DistributedAgent for StormAgent {
+        type Message = Gossip;
+
+        fn id(&self) -> AgentId {
+            self.id
+        }
+
+        fn on_start(&mut self, out: &mut Outbox<Gossip>) {
+            self.flood(out);
+        }
+
+        fn on_batch(&mut self, inbox: Vec<Envelope<Gossip>>, out: &mut Outbox<Gossip>) {
+            self.heard += inbox.len() as u32;
+            for _ in 0..inbox.len() {
+                if self.budget == 0 {
+                    break;
+                }
+                self.budget -= 1;
+                self.flood(out);
+            }
+        }
+
+        fn on_nudge(&mut self, out: &mut Outbox<Gossip>) {
+            if self.budget > 0 {
+                self.budget -= 1;
+                self.flood(out);
+            }
+        }
+
+        fn detected_insoluble(&self) -> bool {
+            matches!(self.insoluble_after, Some(k) if self.heard >= k)
+        }
+
+        fn assignments(&self) -> Vec<VarValue> {
+            Vec::new()
+        }
+
+        fn take_checks(&mut self) -> u64 {
+            0
+        }
+
+        fn stats(&self) -> AgentStats {
+            AgentStats::default()
+        }
+    }
+
+    #[test]
+    fn conservation_holds_with_drop_dup_delay_on_same_link() {
+        // Satellite regression: every link carries drops, duplication,
+        // and delay at once, and the identity
+        // `total = sent - dropped + duplicated + retransmitted`
+        // must still hold exactly on the reported metrics (and pass the
+        // trace audit, which recomputes each term from events).
+        let problem = all_true_problem(5);
+        let (mut dropped, mut duplicated, mut delayed) = (0u64, 0u64, 0u64);
+        for seed in 0..4u64 {
+            let config = AsyncConfig {
+                link: LinkPolicy::lossy(250_000)
+                    .with_duplication(250_000)
+                    .with_delay(0, 3),
+                seed,
+                record_trace: true,
+                max_wall_time: Duration::from_secs(60),
+                ..AsyncConfig::default()
+            };
+            let report = run_async(ring(5), &problem, &config).expect("runs");
+            let m = &report.outcome.metrics;
+            dropped += m.messages_dropped;
+            duplicated += m.messages_duplicated;
+            delayed += m.max_delivery_delay;
+            assert_eq!(
+                m.total_messages(),
+                m.messages_sent - m.messages_dropped
+                    + m.messages_duplicated
+                    + m.messages_retransmitted,
+                "seed {seed}"
+            );
+            let audit = discsp_trace::audit(&report.trace).expect("trace is sealed by RunEnd");
+            assert!(audit.passed(), "seed {seed}: {:?}", audit.failures);
+        }
+        assert!(
+            dropped > 0 && duplicated > 0 && delayed > 0,
+            "the seeds must exercise all three fault kinds \
+             (dropped {dropped}, duplicated {duplicated}, max delay {delayed})"
+        );
+    }
+
+    #[test]
+    fn early_exiting_worker_does_not_uncount_charged_sends() {
+        // Regression for the shutdown accounting hole: before the exit
+        // barrier, a worker that detected insolubility dropped its
+        // receiver on the spot, so peers still storming at it had sends
+        // fail *after* `Link::route` charged `messages_sent` (and
+        // recorded the `Sent` trace event) but *before* the class
+        // counters were bumped — under-counting `total_messages` and
+        // breaking conservation. The receivers now stay open until every
+        // worker is done dispatching, so the identity is exact even on
+        // insoluble runs that tear down mid-storm.
+        let problem = all_true_problem(3);
+        for seed in 0..4u64 {
+            let agents: Vec<StormAgent> = (0..3)
+                .map(|i| StormAgent {
+                    id: AgentId::new(i as u32),
+                    n: 3,
+                    budget: 200,
+                    heard: 0,
+                    insoluble_after: (i == 0).then_some(1),
+                })
+                .collect();
+            let config = AsyncConfig {
+                link: LinkPolicy::lossy(200_000)
+                    .with_duplication(200_000)
+                    .with_delay(0, 2),
+                seed,
+                record_trace: true,
+                max_wall_time: Duration::from_secs(60),
+                ..AsyncConfig::default()
+            };
+            let report = run_async(agents, &problem, &config).expect("runs");
+            let m = &report.outcome.metrics;
+            assert_eq!(m.termination, Termination::Insoluble, "seed {seed}");
+            assert_eq!(
+                m.total_messages(),
+                m.messages_sent - m.messages_dropped
+                    + m.messages_duplicated
+                    + m.messages_retransmitted,
+                "seed {seed}: early-exit teardown uncounted a charged send"
+            );
+            let audit = discsp_trace::audit(&report.trace).expect("trace is sealed by RunEnd");
+            assert!(audit.passed(), "seed {seed}: {:?}", audit.failures);
+        }
     }
 
     #[test]

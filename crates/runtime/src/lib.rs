@@ -35,6 +35,7 @@ mod link;
 mod message;
 mod recorder;
 mod router;
+mod schedule;
 mod seed;
 mod sync;
 mod wire;
@@ -53,5 +54,6 @@ pub use link::{
 pub use message::{Classify, Envelope, MessageClass};
 pub use recorder::StepRecorder;
 pub use router::Router;
+pub use schedule::{FaultAction, FaultEvent, FaultSchedule, ScheduleParseError};
 pub use seed::{derive_seed, SplitMix64};
 pub use sync::{CycleRecord, SyncRun, SyncSimulator};

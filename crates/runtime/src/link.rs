@@ -25,6 +25,8 @@
 //! liveness guarantee the way TCP does over a lossy wire, while every
 //! fault stays observable in the counters.
 
+use std::collections::BTreeMap;
+
 use discsp_core::{
     AgentId, Assignment, DistributedCsp, RunMetrics, Termination, TrialOutcome,
 };
@@ -36,6 +38,7 @@ use crate::agent::{AgentStats, DistributedAgent, Outbox};
 use crate::error::RuntimeError;
 use crate::recorder::StepRecorder;
 use crate::router::Router;
+use crate::schedule::{FaultAction, FaultSchedule};
 use crate::seed::SplitMix64;
 
 /// Probabilities are expressed in parts per million so the whole policy
@@ -192,10 +195,25 @@ pub struct RouteDecision {
 
 /// One directed link with its policy, its private random stream, and its
 /// fault counters.
+///
+/// A link runs in one of two modes. In **lottery** mode (the default,
+/// [`Link::new`]) every fault is drawn from the seeded stream according
+/// to the [`LinkPolicy`]. In **scripted** mode ([`Link::scripted`]) the
+/// stream is never consulted: an explicit `call → action` script decides
+/// the fate of each message by its 0-based call index, and every
+/// unscripted call delivers perfectly. Both modes append each injected
+/// fault to the link's [`fault log`](Link::fault_log), so a lottery
+/// run's log replayed as a script reproduces the run bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct Link {
     policy: LinkPolicy,
     rng: SplitMix64,
+    /// Scripted mode: the fate of each call index. `None` = lottery mode.
+    script: Option<BTreeMap<u64, FaultAction>>,
+    /// Calls served so far (fresh sends and retransmissions share it).
+    calls: u64,
+    /// Every fault injected so far, by the call index that suffered it.
+    log: Vec<(u64, FaultAction)>,
     /// Largest due tick assigned so far (reordering detection).
     max_due: u64,
     /// Counters, monotone over the link's lifetime.
@@ -208,14 +226,33 @@ impl Link {
         Link {
             policy,
             rng: SplitMix64::new(seed),
+            script: None,
+            calls: 0,
+            log: Vec::new(),
             max_due: 0,
             stats: LinkStats::default(),
         }
     }
 
-    /// The policy this link follows.
+    /// Creates a scripted link: call `k` suffers `script[k]`, every other
+    /// call delivers perfectly. No random stream is ever consulted.
+    pub fn scripted(script: BTreeMap<u64, FaultAction>) -> Self {
+        Link {
+            script: Some(script),
+            ..Link::new(LinkPolicy::perfect(), 0)
+        }
+    }
+
+    /// The policy this link follows (perfect in scripted mode).
     pub fn policy(&self) -> &LinkPolicy {
         &self.policy
+    }
+
+    /// The faults this link actually injected, as `(call, action)` pairs
+    /// in call order. Feeding this log back through [`Link::scripted`]
+    /// replays the link's behavior exactly, draw for draw.
+    pub fn fault_log(&self) -> &[(u64, FaultAction)] {
+        &self.log
     }
 
     fn base_delay(&mut self) -> u64 {
@@ -255,9 +292,16 @@ impl Link {
 
     /// Decides the fate of the next message offered to this link at
     /// virtual time `now`. Deterministic: the k-th call on a link built
-    /// from a given `(policy, seed)` always returns the same decision.
+    /// from a given `(policy, seed)` — or a given script — always
+    /// returns the same decision.
     pub fn route(&mut self, now: u64) -> RouteDecision {
         self.stats.sent += 1;
+        let call = self.calls;
+        self.calls += 1;
+        if let Some(script) = &self.script {
+            let action = script.get(&call).copied();
+            return self.route_scripted(now, call, action);
+        }
         if self.policy.is_perfect() {
             // No lottery draws: the stream stays untouched, so enabling a
             // fault on *another* link never perturbs this one.
@@ -273,24 +317,71 @@ impl Link {
         {
             self.stats.dropped += 1;
             faults.push(FaultKind::Dropped);
+            self.log.push((call, FaultAction::Drop));
             return RouteDecision {
                 deliveries: Vec::new(),
                 faults,
             };
         }
-        let mut copies = 1usize;
-        if self.policy.dup_ppm > 0
-            && self.rng.next_below(u64::from(PPM)) < u64::from(self.policy.dup_ppm)
-        {
-            copies += 1;
+        let dup = self.policy.dup_ppm > 0
+            && self.rng.next_below(u64::from(PPM)) < u64::from(self.policy.dup_ppm);
+        if dup {
             self.stats.duplicated += 1;
             faults.push(FaultKind::Duplicated);
+            // Draw order matches the pre-log code: one base delay per
+            // copy, first copy first.
+            let first = self.base_delay();
+            let second = self.base_delay();
+            self.log.push((call, FaultAction::Duplicate { first, second }));
+            let deliveries = vec![
+                self.assign(now, first, &mut faults),
+                self.assign(now, second, &mut faults),
+            ];
+            return RouteDecision { deliveries, faults };
         }
-        let mut deliveries = Vec::with_capacity(copies);
-        for _ in 0..copies {
-            let delay = self.base_delay();
-            deliveries.push(self.assign(now, delay, &mut faults));
+        let delay = self.base_delay();
+        if delay > 0 {
+            self.log.push((call, FaultAction::Delay(delay)));
         }
+        let deliveries = vec![self.assign(now, delay, &mut faults)];
+        RouteDecision { deliveries, faults }
+    }
+
+    /// The scripted-mode fate of call `call`. Unscripted calls still run
+    /// the reorder bookkeeping with zero delay: a lottery link under a
+    /// `delay_min == 0` policy counts a zero-delay message that overtakes
+    /// a delayed one as reordered, so replaying its log must too.
+    fn route_scripted(
+        &mut self,
+        now: u64,
+        call: u64,
+        action: Option<FaultAction>,
+    ) -> RouteDecision {
+        let mut faults = Vec::new();
+        let deliveries = match action {
+            None => vec![self.assign(now, 0, &mut faults)],
+            Some(FaultAction::Drop) => {
+                self.stats.dropped += 1;
+                faults.push(FaultKind::Dropped);
+                self.log.push((call, FaultAction::Drop));
+                Vec::new()
+            }
+            Some(FaultAction::Delay(delay)) => {
+                if delay > 0 {
+                    self.log.push((call, FaultAction::Delay(delay)));
+                }
+                vec![self.assign(now, delay, &mut faults)]
+            }
+            Some(FaultAction::Duplicate { first, second }) => {
+                self.stats.duplicated += 1;
+                faults.push(FaultKind::Duplicated);
+                self.log.push((call, FaultAction::Duplicate { first, second }));
+                vec![
+                    self.assign(now, first, &mut faults),
+                    self.assign(now, second, &mut faults),
+                ]
+            }
+        };
         RouteDecision { deliveries, faults }
     }
 
@@ -300,14 +391,27 @@ impl Link {
     /// still pays the link's delay; the delay/reorder faults injected on
     /// this second pass are returned so the caller can record them (the
     /// counters already include them, and the trace must explain every
-    /// counter).
+    /// counter). In scripted mode a `Delay` event at the retransmission's
+    /// call index delays it; `Drop` cannot recur (eventual delivery), so
+    /// any other scripted action delays by its first delay field or zero.
     pub fn redeliver(&mut self, now: u64) -> (u64, Vec<FaultKind>) {
         self.stats.retransmitted += 1;
-        let delay = if self.policy.is_perfect() {
+        let call = self.calls;
+        self.calls += 1;
+        let delay = if let Some(script) = &self.script {
+            match script.get(&call) {
+                Some(FaultAction::Delay(d)) => *d,
+                Some(FaultAction::Duplicate { first, .. }) => *first,
+                Some(FaultAction::Drop) | None => 0,
+            }
+        } else if self.policy.is_perfect() {
             0
         } else {
             self.base_delay()
         };
+        if delay > 0 {
+            self.log.push((call, FaultAction::Delay(delay)));
+        }
         let mut faults = Vec::new();
         let due = self.assign(now, delay, &mut faults);
         (due, faults)
@@ -329,10 +433,16 @@ pub fn derive_link_seed(run_seed: u64, from: AgentId, to: AgentId) -> u64 {
 /// Configuration of a deterministic faulty-link run.
 #[derive(Debug, Clone)]
 pub struct VirtualConfig {
-    /// Seed deriving every per-link fault stream.
+    /// Seed deriving every per-link fault stream and the same-tick
+    /// delivery order.
     pub seed: u64,
     /// Fault policy applied to every link.
     pub link: LinkPolicy,
+    /// Scripted per-event faults. When set, `link` is ignored: the
+    /// schedule decides every fault and all other messages deliver
+    /// perfectly (the seed still fixes same-tick delivery order, so a
+    /// recorded `fault_log` replays its run exactly under the same seed).
+    pub schedule: Option<FaultSchedule>,
     /// Tick budget; the run reports a cutoff beyond it.
     pub max_ticks: u64,
     /// How many stall-triggered recovery passes (retransmission flushes
@@ -351,6 +461,7 @@ impl Default for VirtualConfig {
         VirtualConfig {
             seed: 0,
             link: LinkPolicy::perfect(),
+            schedule: None,
             max_ticks: 1_000_000,
             max_nudges: 64,
             stop_on_first_solution: false,
@@ -373,6 +484,10 @@ pub struct VirtualReport {
     pub nudges: u64,
     /// Event log; empty unless `record_trace` was set.
     pub trace: Vec<TraceEvent>,
+    /// Every fault the run actually injected, as a replayable schedule:
+    /// re-running with `schedule: Some(fault_log)` under the same seed
+    /// reproduces this run bit-for-bit, with no lottery involved.
+    pub fault_log: FaultSchedule,
 }
 
 /// Runs `agents` on the deterministic faulty-link runtime: a virtual-time
@@ -409,7 +524,13 @@ where
         }
     }
     let n = agents.len();
-    let mut net: Router<A::Message> = Router::new(n, config.link, config.seed, config.record_trace);
+    let mut net: Router<A::Message> = match &config.schedule {
+        Some(schedule) => Router::scripted(n, schedule, config.seed, config.record_trace),
+        None => Router::new(n, config.link, config.seed, config.record_trace),
+    };
+    // A perfect policy cannot stall, so nudging is pointless — unless a
+    // schedule is scripting faults, in which case the policy says nothing.
+    let faults_enabled = config.schedule.is_some() || !config.link.is_perfect();
     let mut recorder = StepRecorder::new();
 
     let mut metrics = RunMetrics::new(Termination::CutOff);
@@ -461,7 +582,7 @@ where
                 termination = Termination::Solved;
                 break;
             }
-            if config.link.is_perfect() || nudges >= config.max_nudges {
+            if !faults_enabled || nudges >= config.max_nudges {
                 termination = Termination::CutOff;
                 break;
             }
@@ -574,6 +695,7 @@ where
         ticks: tick,
         activations,
         nudges,
+        fault_log: net.fault_log(),
         trace: net.take_trace(),
     })
 }
@@ -836,6 +958,85 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn recorded_fault_log_replays_bit_identically() {
+        // The scripted-schedule contract: replaying a lottery run's
+        // fault_log under the same seed reproduces everything — metrics,
+        // solution, tick count, nudges, and the full event trace.
+        let problem = all_true_problem(6);
+        for seed in 0..8u64 {
+            let config = VirtualConfig {
+                seed,
+                link: LinkPolicy::lossy(250_000)
+                    .with_duplication(150_000)
+                    .with_delay(0, 4)
+                    .with_reordering(2),
+                record_trace: true,
+                ..VirtualConfig::default()
+            };
+            let original = run_virtual(ring(6), &problem, &config).expect("runs");
+            assert!(
+                !original.fault_log.is_empty(),
+                "seed {seed}: a hostile policy must inject something"
+            );
+            let replay_config = VirtualConfig {
+                seed,
+                link: LinkPolicy::perfect(),
+                schedule: Some(original.fault_log.clone()),
+                record_trace: true,
+                ..VirtualConfig::default()
+            };
+            let replay = run_virtual(ring(6), &problem, &replay_config).expect("runs");
+            assert_eq!(original.outcome.metrics, replay.outcome.metrics, "seed {seed}");
+            assert_eq!(original.outcome.solution, replay.outcome.solution, "seed {seed}");
+            assert_eq!(original.ticks, replay.ticks, "seed {seed}");
+            assert_eq!(original.activations, replay.activations, "seed {seed}");
+            assert_eq!(original.nudges, replay.nudges, "seed {seed}");
+            assert_eq!(original.trace, replay.trace, "seed {seed}");
+            assert_eq!(
+                original.fault_log, replay.fault_log,
+                "seed {seed}: the replay's own log is the script it was fed"
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_link_follows_its_script() {
+        let mut script = BTreeMap::new();
+        script.insert(0, FaultAction::Drop);
+        script.insert(1, FaultAction::Delay(4));
+        script.insert(2, FaultAction::Duplicate { first: 0, second: 2 });
+        let mut link = Link::scripted(script);
+
+        let d0 = link.route(0);
+        assert!(d0.deliveries.is_empty());
+        assert_eq!(d0.faults, vec![FaultKind::Dropped]);
+
+        let d1 = link.route(0);
+        assert_eq!(d1.deliveries, vec![5]);
+        assert_eq!(d1.faults, vec![FaultKind::Delayed(4)]);
+
+        let d2 = link.route(0);
+        assert_eq!(d2.deliveries, vec![1, 3]);
+        assert!(d2.faults.contains(&FaultKind::Duplicated));
+        assert!(
+            d2.faults.contains(&FaultKind::Reordered),
+            "the zero-delay first copy lands before the earlier Delay(4)"
+        );
+
+        // Call 3 is unscripted: perfect delivery.
+        let d3 = link.route(2);
+        assert_eq!(d3.deliveries, vec![3]);
+        assert_eq!(link.stats.sent, 4);
+        assert_eq!(link.stats.dropped, 1);
+        assert_eq!(link.stats.duplicated, 1);
+        assert_eq!(
+            link.fault_log().len(),
+            3,
+            "the log mirrors exactly the scripted faults that fired"
+        );
     }
 
     #[test]

@@ -28,19 +28,39 @@ use discsp_trace::{FaultKind, RingBuffer, TraceEvent, TraceSink};
 use crate::error::RuntimeError;
 use crate::link::{derive_link_seed, Link, LinkPolicy, LinkStats};
 use crate::message::{Classify, Envelope, MessageClass};
+use crate::schedule::{FaultEvent, FaultSchedule};
+use crate::seed::SplitMix64;
+
+/// Derives the directed link's same-tick delivery rank. Independent of
+/// the link's fault stream (different mixing constants), constant per
+/// link, and a pure function of `(run_seed, from, to)`.
+fn derive_order_rank(run_seed: u64, index: u64) -> u64 {
+    SplitMix64::new(
+        run_seed
+            ^ 0x6A09_E667_F3BC_C909u64.wrapping_mul(index.wrapping_add(1)),
+    )
+    .next_u64()
+}
 
 /// Deterministic routing/enqueue state: event queue, link matrix, parked
 /// drops, and message-class counters.
 ///
 /// Delivery order is total and deterministic: the queue is keyed by
-/// `(due_tick, enqueue_seq)`, so two routers fed the same calls in the
-/// same order drain identically.
+/// `(due_tick, link_rank, enqueue_seq)`, where `link_rank` is a
+/// seed-derived constant per directed link. Messages due the same tick
+/// therefore drain in an order that is a pure function of the run seed —
+/// identical across reruns and independent of the order in which links
+/// happened to enqueue them — while two same-tick messages on the *same*
+/// link keep their send order (per-link FIFO; the explicit reordering
+/// window is the only way a link reorders its own traffic).
 #[derive(Debug)]
 pub struct Router<M> {
-    /// Event queue keyed by `(due_tick, enqueue_seq)` — a total,
-    /// deterministic delivery order.
-    queue: BTreeMap<(u64, u64), Envelope<M>>,
+    /// Event queue keyed by `(due_tick, link_rank, enqueue_seq)` — a
+    /// total, deterministic, seed-derived delivery order.
+    queue: BTreeMap<(u64, u64, u64), Envelope<M>>,
     links: Vec<Link>,
+    /// Seed-derived same-tick delivery rank per link.
+    order: Vec<u64>,
     /// Dropped messages parked per sending agent, in drop order.
     parked: Vec<Vec<Envelope<M>>>,
     n: usize,
@@ -56,14 +76,45 @@ impl<M: Classify + Clone> Router<M> {
     /// `policy` with its stream derived from `run_seed` via
     /// [`derive_link_seed`].
     pub fn new(n: usize, policy: LinkPolicy, run_seed: u64, record_trace: bool) -> Self {
+        Router::build(n, run_seed, record_trace, |from, to| {
+            Link::new(policy, derive_link_seed(run_seed, from, to))
+        })
+    }
+
+    /// Creates a router whose links replay `schedule` exactly: the k-th
+    /// call on link `from → to` suffers the scripted action, every other
+    /// message delivers perfectly, and no fault lottery exists. The
+    /// `run_seed` still fixes the same-tick delivery order, so a
+    /// recorded fault log replays its originating run under the seed
+    /// that produced it.
+    pub fn scripted(
+        n: usize,
+        schedule: &FaultSchedule,
+        run_seed: u64,
+        record_trace: bool,
+    ) -> Self {
+        Router::build(n, run_seed, record_trace, |from, to| {
+            Link::scripted(schedule.actions_for(from, to))
+        })
+    }
+
+    fn build(
+        n: usize,
+        run_seed: u64,
+        record_trace: bool,
+        mut link: impl FnMut(AgentId, AgentId) -> Link,
+    ) -> Self {
         Router {
             queue: BTreeMap::new(),
             links: (0..n * n)
                 .map(|index| {
                     let from = AgentId::new((index / n) as u32);
                     let to = AgentId::new((index % n) as u32);
-                    Link::new(policy, derive_link_seed(run_seed, from, to))
+                    link(from, to)
                 })
+                .collect(),
+            order: (0..n * n)
+                .map(|index| derive_order_rank(run_seed, index as u64))
                 .collect(),
             parked: (0..n).map(|_| Vec::new()).collect(),
             n,
@@ -83,13 +134,14 @@ impl<M: Classify + Clone> Router<M> {
         from.index() * self.n + to.index()
     }
 
-    fn enqueue(&mut self, due: u64, env: Envelope<M>) {
+    fn enqueue(&mut self, due: u64, link: usize, env: Envelope<M>) {
         match env.payload.class() {
             MessageClass::Ok => self.ok_messages += 1,
             MessageClass::Nogood => self.nogood_messages += 1,
             MessageClass::Other => self.other_messages += 1,
         }
-        self.queue.insert((due, self.seq), env);
+        let rank = self.order.get(link).copied().unwrap_or(0);
+        self.queue.insert((due, rank, self.seq), env);
         self.seq += 1;
     }
 
@@ -136,9 +188,9 @@ impl<M: Classify + Clone> Router<M> {
         let mut copies = decision.deliveries.into_iter().peekable();
         while let Some(due) = copies.next() {
             if copies.peek().is_some() {
-                self.enqueue(due, env.clone());
+                self.enqueue(due, index, env.clone());
             } else {
-                self.enqueue(due, env);
+                self.enqueue(due, index, env);
                 break;
             }
         }
@@ -181,7 +233,7 @@ impl<M: Classify + Clone> Router<M> {
                         });
                     }
                 }
-                self.enqueue(due, env);
+                self.enqueue(due, index, env);
                 flushed += 1;
             }
         }
@@ -190,7 +242,7 @@ impl<M: Classify + Clone> Router<M> {
 
     /// The due tick of the earliest queued message, if any.
     pub fn next_due(&self) -> Option<u64> {
-        self.queue.keys().next().map(|&(due, _)| due)
+        self.queue.keys().next().map(|&(due, _, _)| due)
     }
 
     /// Whether the in-flight set (queue) is empty. The queue *is* the
@@ -201,13 +253,13 @@ impl<M: Classify + Clone> Router<M> {
     }
 
     /// Removes every message due exactly at `due`, batched per recipient
-    /// in ascending `(recipient, enqueue_seq)` order, recording
-    /// `Delivered` trace events at cycle `tick`.
+    /// in the queue's seed-derived `(link_rank, enqueue_seq)` order,
+    /// recording `Delivered` trace events at cycle `tick`.
     pub fn take_due(&mut self, due: u64, tick: u64) -> BTreeMap<usize, Vec<Envelope<M>>> {
         let mut inboxes: BTreeMap<usize, Vec<Envelope<M>>> = BTreeMap::new();
-        let due_keys: Vec<(u64, u64)> = self
+        let due_keys: Vec<(u64, u64, u64)> = self
             .queue
-            .range((due, 0)..=(due, u64::MAX))
+            .range((due, 0, 0)..=(due, u64::MAX, u64::MAX))
             .map(|(&k, _)| k)
             .collect();
         for key in due_keys {
@@ -245,6 +297,26 @@ impl<M: Classify + Clone> Router<M> {
             totals.absorb(link.stats);
         }
         totals
+    }
+
+    /// Every fault any link actually injected, assembled into a
+    /// replayable [`FaultSchedule`]. Feeding it to [`Router::scripted`]
+    /// under the same run seed replays this router's behavior exactly.
+    pub fn fault_log(&self) -> FaultSchedule {
+        let mut events = Vec::new();
+        for (index, link) in self.links.iter().enumerate() {
+            let from = AgentId::new((index / self.n) as u32);
+            let to = AgentId::new((index % self.n) as u32);
+            for &(call, action) in link.fault_log() {
+                events.push(FaultEvent {
+                    from,
+                    to,
+                    call,
+                    action,
+                });
+            }
+        }
+        FaultSchedule::new(events)
     }
 
     /// The trace sink. Executors record their agent-step events here so
@@ -334,6 +406,110 @@ mod tests {
         }
         assert_eq!(a.class_counts(), b.class_counts());
         assert_eq!(a.link_totals(), b.link_totals());
+    }
+
+    #[test]
+    fn same_tick_order_is_seed_derived_and_insertion_independent() {
+        // Property (satellite of the explorer work): messages due the
+        // same tick drain in an order that is a pure function of the run
+        // seed — identical across reruns, independent of the order the
+        // links enqueued them — while same-link messages keep FIFO.
+        use crate::seed::SplitMix64;
+
+        let n = 4;
+        // Every ordered pair sends once at now = 0; all due tick 1.
+        let sends: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|f| (0..n as u32).filter(move |&t| t != f).map(move |t| (f, t)))
+            .collect();
+
+        let drain = |order: &[usize], seed: u64| -> Vec<(AgentId, AgentId)> {
+            let mut router: Router<Note> = Router::new(n, LinkPolicy::perfect(), seed, true);
+            for &i in order {
+                let (f, t) = sends[i];
+                router.route(0, env(f, t)).expect("routes");
+            }
+            router.take_due(1, 1);
+            router
+                .take_trace()
+                .into_iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Delivered { from, to, .. } => Some((from, to)),
+                    _ => None,
+                })
+                .collect()
+        };
+
+        let forward: Vec<usize> = (0..sends.len()).collect();
+        let mut shuffled = forward.clone();
+        let mut rng = SplitMix64::new(99);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.next_below(i as u64 + 1) as usize);
+        }
+        assert_ne!(forward, shuffled, "the shuffle must actually permute");
+
+        let mut distinct_orders = Vec::new();
+        for seed in 0..8u64 {
+            let a = drain(&forward, seed);
+            let b = drain(&shuffled, seed);
+            let c = drain(&forward, seed);
+            assert_eq!(a, c, "seed {seed}: rerun-identical");
+            assert_eq!(a, b, "seed {seed}: insertion-order-independent");
+            if !distinct_orders.contains(&a) {
+                distinct_orders.push(a);
+            }
+        }
+        assert!(
+            distinct_orders.len() > 1,
+            "the order must genuinely depend on the seed"
+        );
+
+        // Same-link FIFO: two messages on one link due the same tick
+        // keep their send order under every seed.
+        for seed in 0..8u64 {
+            let mut router: Router<Note> = Router::new(2, LinkPolicy::perfect(), seed, false);
+            router
+                .route(0, Envelope { from: AgentId::new(0), to: AgentId::new(1), payload: Note(Value::new(1)) })
+                .expect("routes");
+            router
+                .route(0, Envelope { from: AgentId::new(0), to: AgentId::new(1), payload: Note(Value::new(2)) })
+                .expect("routes");
+            let inboxes = router.take_due(1, 1);
+            let inbox = inboxes.get(&1).expect("recipient 1 has mail");
+            let values: Vec<_> = inbox.iter().map(|e| e.payload.0).collect();
+            assert_eq!(values, vec![Value::new(1), Value::new(2)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scripted_router_replays_a_recorded_log() {
+        let policy = LinkPolicy::lossy(400_000)
+            .with_duplication(200_000)
+            .with_delay(0, 3);
+        let mut original: Router<Note> = Router::new(3, policy, 11, false);
+        for now in 0..30 {
+            for (from, to) in [(0, 1), (1, 2), (2, 0)] {
+                original.route(now, env(from, to)).expect("routes");
+            }
+            if now % 10 == 9 {
+                original.flush_parked(now);
+            }
+        }
+        let log = original.fault_log();
+        assert!(!log.is_empty());
+
+        let mut replay: Router<Note> = Router::scripted(3, &log, 11, false);
+        for now in 0..30 {
+            for (from, to) in [(0, 1), (1, 2), (2, 0)] {
+                replay.route(now, env(from, to)).expect("routes");
+            }
+            if now % 10 == 9 {
+                replay.flush_parked(now);
+            }
+        }
+        assert_eq!(original.link_totals(), replay.link_totals());
+        assert_eq!(original.class_counts(), replay.class_counts());
+        assert_eq!(original.queued(), replay.queued());
+        assert_eq!(original.fault_log(), replay.fault_log());
     }
 
     #[test]

@@ -60,6 +60,94 @@ impl fmt::Display for AuditError {
 
 impl std::error::Error for AuditError {}
 
+/// Which audited invariant a failure is about. Machine-readable so
+/// tools (the fault-schedule explorer, CI gates) can classify verdicts
+/// without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum AuditField {
+    /// `total_checks` recomputed from agent steps.
+    TotalChecks,
+    /// `maxcck` recomputed from barrier-delimited waves.
+    Maxcck,
+    /// Final cycle reported by `RunEnd` vs `RunMetrics::cycles`.
+    Cycle,
+    /// `Sent` events vs `messages_sent`.
+    MessagesSent,
+    /// Dropped faults vs `messages_dropped`.
+    MessagesDropped,
+    /// Duplicated faults vs `messages_duplicated`.
+    MessagesDuplicated,
+    /// Reordered faults vs `messages_reordered`.
+    MessagesReordered,
+    /// Retransmitted faults vs `messages_retransmitted`.
+    MessagesRetransmitted,
+    /// Largest delay fault vs `max_delivery_delay`.
+    MaxDeliveryDelay,
+    /// The conservation identity
+    /// `total == sent − dropped + duplicated + retransmitted`.
+    Conservation,
+    /// Delivered events vs the link layer's enqueued copies.
+    DeliveryCoverage,
+    /// `NogoodLearned` events vs `nogoods_generated`.
+    NogoodsGenerated,
+    /// Largest `NogoodLearned` size vs `largest_nogood`.
+    LargestNogood,
+    /// An event stamped after the run's final cycle.
+    EventAfterEnd,
+}
+
+impl fmt::Display for AuditField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AuditField::TotalChecks => "total_checks",
+            AuditField::Maxcck => "maxcck",
+            AuditField::Cycle => "cycle",
+            AuditField::MessagesSent => "messages_sent",
+            AuditField::MessagesDropped => "messages_dropped",
+            AuditField::MessagesDuplicated => "messages_duplicated",
+            AuditField::MessagesReordered => "messages_reordered",
+            AuditField::MessagesRetransmitted => "messages_retransmitted",
+            AuditField::MaxDeliveryDelay => "max_delivery_delay",
+            AuditField::Conservation => "message_conservation",
+            AuditField::DeliveryCoverage => "delivery_coverage",
+            AuditField::NogoodsGenerated => "nogoods_generated",
+            AuditField::LargestNogood => "largest_nogood",
+            AuditField::EventAfterEnd => "event_after_end",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One accounting discrepancy: which invariant broke, the two values
+/// that disagree, and the human-pointed diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFailure {
+    /// The audited invariant that failed.
+    pub field: AuditField,
+    /// The value the trace recomputes (for identity checks, the value
+    /// the identity's right-hand side evaluates to).
+    pub recomputed: i128,
+    /// The value the runtime reported.
+    pub reported: i128,
+    /// The full human-readable diagnostic.
+    pub message: String,
+}
+
+impl AuditFailure {
+    /// Whether the diagnostic text mentions `needle` (convenience for
+    /// tests and log grepping).
+    pub fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl fmt::Display for AuditFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// The recomputed counters plus every mismatch found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Audit {
@@ -85,8 +173,9 @@ pub struct Audit {
     pub nogoods_forgotten: u64,
     /// Events audited.
     pub events: usize,
-    /// Every accounting discrepancy, as a human-pointed diagnostic.
-    pub failures: Vec<String>,
+    /// Every accounting discrepancy, machine-classified and
+    /// human-pointed.
+    pub failures: Vec<AuditFailure>,
 }
 
 impl Audit {
@@ -94,13 +183,23 @@ impl Audit {
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// Whether some failure concerns `field`.
+    pub fn failed(&self, field: AuditField) -> bool {
+        self.failures.iter().any(|f| f.field == field)
+    }
 }
 
-fn mismatch(failures: &mut Vec<String>, field: &str, recomputed: u64, reported: u64) {
+fn mismatch(failures: &mut Vec<AuditFailure>, field: AuditField, recomputed: u64, reported: u64) {
     if recomputed != reported {
-        failures.push(format!(
-            "{field}: trace recomputes {recomputed}, RunMetrics reports {reported}"
-        ));
+        failures.push(AuditFailure {
+            field,
+            recomputed: i128::from(recomputed),
+            reported: i128::from(reported),
+            message: format!(
+                "{field}: trace recomputes {recomputed}, RunMetrics reports {reported}"
+            ),
+        });
     }
 }
 
@@ -184,34 +283,39 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
     let mut failures = Vec::new();
 
     // The paper's two headline counters plus the raw check total.
-    mismatch(&mut failures, "total_checks", total_checks, metrics.total_checks);
-    mismatch(&mut failures, "maxcck", maxcck, metrics.maxcck);
-    mismatch(&mut failures, "cycle", end_cycle, metrics.cycles);
+    mismatch(&mut failures, AuditField::TotalChecks, total_checks, metrics.total_checks);
+    mismatch(&mut failures, AuditField::Maxcck, maxcck, metrics.maxcck);
+    mismatch(&mut failures, AuditField::Cycle, end_cycle, metrics.cycles);
 
     // Message accounting: the trace must explain every counter.
-    mismatch(&mut failures, "messages_sent", sent, metrics.messages_sent);
-    mismatch(&mut failures, "messages_dropped", dropped, metrics.messages_dropped);
+    mismatch(&mut failures, AuditField::MessagesSent, sent, metrics.messages_sent);
     mismatch(
         &mut failures,
-        "messages_duplicated",
+        AuditField::MessagesDropped,
+        dropped,
+        metrics.messages_dropped,
+    );
+    mismatch(
+        &mut failures,
+        AuditField::MessagesDuplicated,
         duplicated,
         metrics.messages_duplicated,
     );
     mismatch(
         &mut failures,
-        "messages_reordered",
+        AuditField::MessagesReordered,
         reordered,
         metrics.messages_reordered,
     );
     mismatch(
         &mut failures,
-        "messages_retransmitted",
+        AuditField::MessagesRetransmitted,
         retransmitted,
         metrics.messages_retransmitted,
     );
     mismatch(
         &mut failures,
-        "max_delivery_delay",
+        AuditField::MaxDeliveryDelay,
         max_delay,
         metrics.max_delivery_delay,
     );
@@ -221,15 +325,20 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
         + i128::from(metrics.messages_duplicated)
         + i128::from(metrics.messages_retransmitted);
     if i128::from(metrics.total_messages()) != conserved {
-        failures.push(format!(
-            "message conservation: total ({}) != sent − dropped + duplicated + \
-             retransmitted ({} − {} + {} + {} = {conserved})",
-            metrics.total_messages(),
-            metrics.messages_sent,
-            metrics.messages_dropped,
-            metrics.messages_duplicated,
-            metrics.messages_retransmitted,
-        ));
+        failures.push(AuditFailure {
+            field: AuditField::Conservation,
+            recomputed: conserved,
+            reported: i128::from(metrics.total_messages()),
+            message: format!(
+                "message conservation: total ({}) != sent − dropped + duplicated + \
+                 retransmitted ({} − {} + {} + {} = {conserved})",
+                metrics.total_messages(),
+                metrics.messages_sent,
+                metrics.messages_dropped,
+                metrics.messages_duplicated,
+                metrics.messages_retransmitted,
+            ),
+        });
     }
 
     // Delivery coverage. On the deterministic runtimes every enqueued
@@ -240,32 +349,57 @@ pub fn audit(events: &[TraceEvent]) -> Result<Audit, AuditError> {
         i128::from(metrics.total_messages()) - i128::from(in_flight);
     if runtime == RuntimeKind::Async {
         if i128::from(delivered) > i128::from(metrics.total_messages()) {
-            failures.push(format!(
-                "delivered events ({delivered}) exceed the {} messages the link \
-                 layer ever enqueued",
-                metrics.total_messages(),
-            ));
+            failures.push(AuditFailure {
+                field: AuditField::DeliveryCoverage,
+                recomputed: i128::from(delivered),
+                reported: i128::from(metrics.total_messages()),
+                message: format!(
+                    "delivered events ({delivered}) exceed the {} messages the link \
+                     layer ever enqueued",
+                    metrics.total_messages(),
+                ),
+            });
         }
     } else if i128::from(delivered) != expected_deliveries {
-        failures.push(format!(
-            "delivered events ({delivered}) do not cover the link layer's deliveries \
-             (total {} − {in_flight} in flight = {expected_deliveries}): a Delivered \
-             event is missing from the trace or the runtime under-delivered",
-            metrics.total_messages(),
-        ));
+        failures.push(AuditFailure {
+            field: AuditField::DeliveryCoverage,
+            recomputed: i128::from(delivered),
+            reported: expected_deliveries,
+            message: format!(
+                "delivered events ({delivered}) do not cover the link layer's deliveries \
+                 (total {} − {in_flight} in flight = {expected_deliveries}): a Delivered \
+                 event is missing from the trace or the runtime under-delivered",
+                metrics.total_messages(),
+            ),
+        });
     }
 
     // Learning counters.
-    mismatch(&mut failures, "nogoods_generated", nogoods, metrics.nogoods_generated);
-    mismatch(&mut failures, "largest_nogood", largest_nogood, metrics.largest_nogood);
+    mismatch(
+        &mut failures,
+        AuditField::NogoodsGenerated,
+        nogoods,
+        metrics.nogoods_generated,
+    );
+    mismatch(
+        &mut failures,
+        AuditField::LargestNogood,
+        largest_nogood,
+        metrics.largest_nogood,
+    );
 
     // No event may claim a cycle after the run ended (coarse async
     // stamps excepted).
     if runtime != RuntimeKind::Async && max_event_cycle > end_cycle {
-        failures.push(format!(
-            "an event is stamped at cycle {max_event_cycle}, after the run ended at \
-             cycle {end_cycle}"
-        ));
+        failures.push(AuditFailure {
+            field: AuditField::EventAfterEnd,
+            recomputed: i128::from(max_event_cycle),
+            reported: i128::from(end_cycle),
+            message: format!(
+                "an event is stamped at cycle {max_event_cycle}, after the run ended at \
+                 cycle {end_cycle}"
+            ),
+        });
     }
 
     Ok(Audit {
@@ -459,9 +593,16 @@ mod tests {
             }
         }
         let report = audit(&corrupted).expect("auditable");
-        let text = report.failures.join("\n");
-        assert!(text.contains("total_checks"), "{text}");
-        assert!(text.contains("maxcck"), "{text}");
+        assert!(report.failed(AuditField::TotalChecks), "{:?}", report.failures);
+        assert!(report.failed(AuditField::Maxcck), "{:?}", report.failures);
+        let checks = report
+            .failures
+            .iter()
+            .find(|f| f.field == AuditField::TotalChecks)
+            .expect("has the total_checks verdict");
+        assert_eq!(checks.recomputed, 12);
+        assert_eq!(checks.reported, 11);
+        assert!(checks.to_string().contains("total_checks"));
     }
 
     #[test]

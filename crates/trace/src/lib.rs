@@ -37,7 +37,7 @@ mod sink;
 mod summary;
 mod wire;
 
-pub use audit::{audit, Audit, AuditError};
+pub use audit::{audit, Audit, AuditError, AuditFailure, AuditField};
 pub use event::{canonical_sort, render_trace, FaultKind, RuntimeKind, TraceEvent};
 pub use jsonl::{event_to_json, parse_line, parse_trace, JsonlError};
 pub use sink::{JsonlWriter, NullSink, RingBuffer, TraceSink};

@@ -28,6 +28,9 @@ TRACE_DIR="$soak_traces" \
 echo "==> discsp-trace audit (independently recompute metrics from every soak trace)"
 cargo run --release --offline -q -p discsp-trace -- audit "$soak_traces"/*.jsonl
 
+echo "==> explore smoke (fault-schedule campaign, fixed seed, all algorithms)"
+cargo run --release --offline -q -p discsp-explore -- --algo all --trials 200 --seed 1
+
 echo "==> net smoke (coordinator + agent processes over loopback TCP)"
 timeout 120 cargo test -q --release --offline -p discsp-net --test net_loopback
 
