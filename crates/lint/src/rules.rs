@@ -153,6 +153,17 @@ pub const D2_EXEMPT_VIRTUAL_CLOCK: &[&str] = &["crates/runtime/src/link.rs"];
 /// reasons in virtual ticks and stays under D2.
 pub const D2_EXEMPT_NET_TRANSPORT: &[&str] = &["crates/net/src/transport.rs"];
 
+/// Files exempt from D2 by name in the solve service: the TCP front end
+/// (socket accept loop, response-write timeouts, scheduler idle waits)
+/// and the load generator (wall-clock sessions/sec is its one real-time
+/// number). Everything underneath — session drivers, the table, the
+/// sweep scheduler — reasons purely in sweeps and virtual ticks and
+/// stays under D2.
+pub const D2_EXEMPT_SERVICE_REALTIME: &[&str] = &[
+    "crates/service/src/server.rs",
+    "crates/service/src/main.rs",
+];
+
 pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     let p = rel_path.replace('\\', "/");
     let in_any = |prefixes: &[&str]| prefixes.iter().any(|pre| p.starts_with(pre));
@@ -165,6 +176,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/awc/src/",
         "crates/dba/src/",
         "crates/net/src/",
+        "crates/service/src/",
         "crates/cspsolve/src/",
         "crates/probgen/src/",
         "crates/bench/src/",
@@ -179,10 +191,12 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
         "crates/awc/src/",
         "crates/dba/src/",
         "crates/net/src/",
+        "crates/service/src/",
         "crates/bench/src/",
         "crates/explore/src/",
     ]) && !D2_EXEMPT_VIRTUAL_CLOCK.contains(&p.as_str())
         && !D2_EXEMPT_NET_TRANSPORT.contains(&p.as_str())
+        && !D2_EXEMPT_SERVICE_REALTIME.contains(&p.as_str())
     {
         rules.push(Rule::D2);
     }
@@ -191,6 +205,7 @@ pub fn rules_for(rel_path: &str) -> Vec<Rule> {
     }
     if p.starts_with("crates/runtime/src/")
         || (p.starts_with("crates/net/src/") && p != "crates/net/src/main.rs")
+        || (p.starts_with("crates/service/src/") && p != "crates/service/src/main.rs")
         || (p.starts_with("crates/trace/src/") && p != "crates/trace/src/main.rs")
         || (p.starts_with("crates/explore/src/") && p != "crates/explore/src/main.rs")
         || p == "crates/awc/src/agent.rs"
@@ -925,6 +940,24 @@ mod tests {
             rules_for("crates/explore/src/main.rs"),
             vec![Rule::D1, Rule::D2]
         );
+        // The solve service's scheduler/session/table layers reason in
+        // sweeps and virtual ticks: determinism- and panic-policed like
+        // the runtime. The TCP shell and the load generator own the
+        // sanctioned wall-clock sites (named D2 exemption), and the
+        // binary keeps the usual main.rs P1 carve-out for loud exits.
+        assert_eq!(
+            rules_for("crates/service/src/service.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
+        assert_eq!(
+            rules_for("crates/service/src/session.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
+        assert_eq!(
+            rules_for("crates/service/src/server.rs"),
+            vec![Rule::D1, Rule::P1]
+        );
+        assert_eq!(rules_for("crates/service/src/main.rs"), vec![Rule::D1]);
     }
 
     #[test]
@@ -949,6 +982,24 @@ mod tests {
         );
         for policed in ["coordinator.rs", "endpoint.rs", "frame.rs", "solve.rs", "lib.rs"] {
             let path = format!("crates/net/src/{policed}");
+            assert!(rules_for(&path).contains(&Rule::D2), "{path} must keep D2");
+        }
+    }
+
+    #[test]
+    fn service_realtime_is_exempt_from_d2_by_name_only() {
+        // The service's real-time shell (socket accept loop, response
+        // timeouts) and the load generator's sessions/sec stopwatch are
+        // the crate's only sanctioned wall-clock sites; D2 is lifted
+        // there — and only there — while the scheduler underneath stays
+        // on the virtual clock.
+        assert_eq!(
+            rules_for("crates/service/src/server.rs"),
+            vec![Rule::D1, Rule::P1]
+        );
+        assert_eq!(rules_for("crates/service/src/main.rs"), vec![Rule::D1]);
+        for policed in ["service.rs", "session.rs", "table.rs", "lib.rs"] {
+            let path = format!("crates/service/src/{policed}");
             assert!(rules_for(&path).contains(&Rule::D2), "{path} must keep D2");
         }
     }

@@ -1,0 +1,17 @@
+//! Shape of the sanctioned wall-clock sites in the solve service's
+//! real-time shell: a non-blocking accept loop that sleeps between
+//! polls and a sessions/sec stopwatch. Exempt from D2 at
+//! `crates/service/src/server.rs` and `crates/service/src/main.rs` —
+//! and only there.
+use std::time::{Duration, Instant};
+
+fn accept_loop(stop: &std::sync::atomic::AtomicBool) -> f64 {
+    let started = Instant::now();
+    let mut accepted = 0u64;
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(2));
+        accepted += 1;
+    }
+    let wall = Instant::now().duration_since(started);
+    accepted as f64 / wall.as_secs_f64()
+}

@@ -104,6 +104,32 @@ fn net_transport_d2_exemption_is_path_scoped() {
 }
 
 #[test]
+fn service_realtime_d2_exemption_is_path_scoped() {
+    // The service's accept loop and sessions/sec stopwatch are
+    // sanctioned in the TCP shell and the load generator, and flagged
+    // verbatim anywhere in the scheduler underneath: the exemption is
+    // by file name, not by code shape.
+    let src = fixture("d2_service_realtime.rs");
+    let allow = Allowlist::empty();
+    let at = |path: &str| {
+        analyze_source(path, &src, &discsp_lint::rules::rules_for(path), &allow)
+    };
+    for exempt_path in ["crates/service/src/server.rs", "crates/service/src/main.rs"] {
+        let exempt = at(exempt_path);
+        assert!(
+            rule_lines(&exempt, "D2").is_empty(),
+            "{exempt_path} is D2-exempt by name: {exempt:?}"
+        );
+    }
+    let policed = at("crates/service/src/service.rs");
+    assert_eq!(
+        rule_lines(&policed, "D2"),
+        vec![9, 15],
+        "the identical source is flagged in the scheduler layer"
+    );
+}
+
+#[test]
 fn broken_annotations_are_a0() {
     let fs = lint_fixture("allow_bad.rs");
     let a0_errors: Vec<u32> = fs

@@ -27,7 +27,7 @@ use discsp_trace::{canonical_sort, RuntimeKind, TraceEvent, TraceSink};
 
 use crate::frame::{RunFrame, SetupFrame};
 use crate::topology::AgentSlice;
-use crate::transport::{accept_agents, FrameConn};
+use crate::transport::{accept_agents, Deadline, FrameConn};
 use crate::{NetConfig, NetError};
 
 /// What a networked session reports, mirroring
@@ -113,17 +113,44 @@ where
     let n = slices.len();
 
     // --- Handshake: every agent says Hello, gets its Assign. ---------
-    let streams = accept_agents(listener, n, config.handshake_timeout)?;
+    // One deadline bounds both phases: accepting the sockets and
+    // collecting the greetings. A client that connects and then goes
+    // silent therefore fails the handshake with a typed error instead
+    // of wedging setup on an unbounded read.
+    let deadline = Deadline::new(config.handshake_timeout);
+    let streams = accept_agents(listener, n, &deadline)?;
     let mut slots: Vec<Option<FrameConn>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    for stream in streams {
+    // `greeted` counts connections that already completed their Hello:
+    // every earlier iteration either greeted successfully or returned.
+    for (greeted, stream) in streams.into_iter().enumerate() {
         let mut conn = FrameConn::new(stream, config.io_timeout)?;
-        let index = match conn.recv::<SetupFrame>()? {
-            SetupFrame::Hello { index } => index,
-            SetupFrame::Assign { .. } => {
+        let Some(remaining) = deadline.remaining() else {
+            return Err(NetError::HelloTimeout {
+                completed: greeted,
+                expected: n,
+            });
+        };
+        conn.set_io_timeout(remaining)?;
+        let index = match conn.recv::<SetupFrame>() {
+            Ok(SetupFrame::Hello { index }) => index,
+            Ok(SetupFrame::Assign { .. }) => {
                 return Err(NetError::UnexpectedFrame { expected: "Hello" })
             }
+            Err(NetError::Io { context: _, error })
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(NetError::HelloTimeout {
+                    completed: greeted,
+                    expected: n,
+                })
+            }
+            Err(e) => return Err(e),
         };
+        conn.set_io_timeout(config.io_timeout)?;
         let slot = slots
             .get_mut(index as usize)
             .ok_or(NetError::BadAgentIndex {

@@ -1,21 +1,37 @@
 //! Protocol frames.
 //!
-//! Every frame travels as `[u32 length ‖ version ‖ tag ‖ body]`: the
-//! length prefix is added by the transport ([`FrameConn`]), while the
-//! version byte and tag are part of the frame encoding itself, so a
-//! captured frame is self-describing. The protocol has two strict
-//! phases with disjoint tag spaces:
+//! Every v3 frame travels as `[u32 length ‖ version ‖ tag ‖ session:u64
+//! ‖ body]`: the length prefix is added by the transport
+//! ([`FrameConn`]), while the version byte, tag, and session ID are part
+//! of the frame encoding itself, so a captured frame is
+//! self-describing. The protocol has three strict phases with disjoint
+//! tag spaces:
 //!
 //! * **setup** ([`SetupFrame`], tags 0–1): `Hello` (agent → coordinator)
 //!   and `Assign` (coordinator → agent), exchanged once per connection;
 //! * **run** ([`RunFrame`], tags 2–7): `Start`/`Deliver`/`Nudge`/`Stop`
-//!   from the coordinator, answered by `Step`/`Final` from the agent.
+//!   from the coordinator, answered by `Step`/`Final` from the agent;
+//! * **service** ([`ServiceFrame`], tags 8–15): the multi-session solve
+//!   service's request/response vocabulary (see [`crate::service`]).
 //!
 //! Decoding a frame from the wrong phase fails with a typed
 //! [`WireError::BadTag`] — a desynchronized peer is detected at the
 //! first frame, not after undefined behavior.
 //!
+//! ## Versioning and the session ID
+//!
+//! Version 3 inserts a `u64` session ID between the tag and the body so
+//! one connection can interleave frames of many concurrent sessions
+//! (the multi-session solve service). Decoding stays backward
+//! compatible: a v2 frame (`[2 ‖ tag ‖ body]`, no session field) is
+//! accepted and reads as session 0, the reserved ID for single-session
+//! peers. Encoding always emits v3. The session-aware entry points are
+//! [`MuxWire::encode_mux`]/[`MuxWire::decode_mux`] and the [`Mux`]
+//! wrapper; the plain [`Wire`] impls delegate to them with session 0,
+//! so existing single-session code is untouched.
+//!
 //! [`FrameConn`]: crate::transport::FrameConn
+//! [`ServiceFrame`]: crate::service::ServiceFrame
 
 use discsp_core::{VarValue, Wire, WireError, WireReader};
 use discsp_runtime::{AgentStats, Envelope, LinkPolicy};
@@ -27,27 +43,92 @@ use crate::topology::AgentSlice;
 /// to a frame layout or to the encoding of a type inside one.
 /// Version 2 added `record_trace` to `Assign`, the virtual tick to
 /// `Deliver`/`Nudge`, and the agent's event trace to `Final`.
-pub const WIRE_VERSION: u8 = 2;
+/// Version 3 added the `u64` session ID to the header (decode still
+/// accepts v2 frames as session 0).
+pub const WIRE_VERSION: u8 = 3;
+
+/// The oldest frame version `decode` still accepts. v2 frames carry no
+/// session field and decode as [`SESSION_NONE`].
+pub const MIN_WIRE_VERSION: u8 = 2;
+
+/// The session ID implied by a v2 frame and used by single-session
+/// peers: "not multiplexed".
+pub const SESSION_NONE: u64 = 0;
 
 /// Upper bound on one frame's encoded body, enforced on both send and
 /// receive: a corrupt length prefix must not provoke a gigabyte
 /// allocation.
 pub const MAX_FRAME_LEN: u64 = 16 * 1024 * 1024;
 
-fn encode_header(tag: u8, out: &mut Vec<u8>) {
+pub(crate) fn encode_header(tag: u8, session: u64, out: &mut Vec<u8>) {
     out.push(WIRE_VERSION);
     out.push(tag);
+    session.encode(out);
 }
 
-fn decode_header(r: &mut WireReader<'_>, context: &'static str) -> Result<u8, WireError> {
+pub(crate) fn decode_header(
+    r: &mut WireReader<'_>,
+    context: &'static str,
+) -> Result<(u8, u64), WireError> {
     let version = r.u8(context)?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::BadVersion {
             got: version,
             expected: WIRE_VERSION,
         });
     }
-    r.u8(context)
+    let tag = r.u8(context)?;
+    let session = if version >= 3 {
+        r.u64(context)?
+    } else {
+        SESSION_NONE
+    };
+    Ok((tag, session))
+}
+
+/// Frame types that carry a session ID in their v3 header.
+///
+/// Implementors encode as `[version ‖ tag ‖ session ‖ body]`; the plain
+/// [`Wire`] impl on the same type delegates here with
+/// [`SESSION_NONE`], so session-oblivious peers interoperate for free.
+pub trait MuxWire: Sized {
+    /// Encodes the frame with an explicit session ID in the header.
+    fn encode_mux(&self, session: u64, out: &mut Vec<u8>);
+
+    /// Decodes a frame, returning the session ID from its header
+    /// ([`SESSION_NONE`] for v2 frames).
+    fn decode_mux(r: &mut WireReader<'_>) -> Result<(u64, Self), WireError>;
+}
+
+/// A frame paired with its session ID, for connections that interleave
+/// sessions. `Mux<F>` is itself [`Wire`], so it flows through
+/// [`FrameConn`] unchanged.
+///
+/// [`FrameConn`]: crate::transport::FrameConn
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mux<F> {
+    /// The session this frame belongs to.
+    pub session: u64,
+    /// The frame itself.
+    pub frame: F,
+}
+
+impl<F> Mux<F> {
+    /// Pairs a frame with a session ID.
+    pub fn new(session: u64, frame: F) -> Self {
+        Mux { session, frame }
+    }
+}
+
+impl<F: MuxWire> Wire for Mux<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.frame.encode_mux(self.session, out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let (session, frame) = F::decode_mux(r)?;
+        Ok(Mux { session, frame })
+    }
 }
 
 /// Handshake-phase frames.
@@ -76,11 +157,11 @@ pub enum SetupFrame {
     },
 }
 
-impl Wire for SetupFrame {
-    fn encode(&self, out: &mut Vec<u8>) {
+impl MuxWire for SetupFrame {
+    fn encode_mux(&self, session: u64, out: &mut Vec<u8>) {
         match self {
             SetupFrame::Hello { index } => {
-                encode_header(0, out);
+                encode_header(0, session, out);
                 index.encode(out);
             }
             SetupFrame::Assign {
@@ -90,7 +171,7 @@ impl Wire for SetupFrame {
                 record_trace,
                 slice,
             } => {
-                encode_header(1, out);
+                encode_header(1, session, out);
                 n_agents.encode(out);
                 seed.encode(out);
                 policy.encode(out);
@@ -100,8 +181,9 @@ impl Wire for SetupFrame {
         }
     }
 
-    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        match decode_header(r, "SetupFrame")? {
+    fn decode_mux(r: &mut WireReader<'_>) -> Result<(u64, Self), WireError> {
+        let (tag, session) = decode_header(r, "SetupFrame")?;
+        let frame = match tag {
             0 => Ok(SetupFrame::Hello {
                 index: r.u32("SetupFrame.Hello.index")?,
             }),
@@ -123,7 +205,19 @@ impl Wire for SetupFrame {
                 context: "SetupFrame",
                 tag,
             }),
-        }
+        }?;
+        Ok((session, frame))
+    }
+}
+
+impl Wire for SetupFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_mux(SESSION_NONE, out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let (_session, frame) = Self::decode_mux(r)?;
+        Ok(frame)
     }
 }
 
@@ -174,17 +268,17 @@ pub enum RunFrame<M> {
     },
 }
 
-impl<M: Wire> Wire for RunFrame<M> {
-    fn encode(&self, out: &mut Vec<u8>) {
+impl<M: Wire> MuxWire for RunFrame<M> {
+    fn encode_mux(&self, session: u64, out: &mut Vec<u8>) {
         match self {
-            RunFrame::Start => encode_header(2, out),
+            RunFrame::Start => encode_header(2, session, out),
             RunFrame::Deliver { tick, msgs } => {
-                encode_header(3, out);
+                encode_header(3, session, out);
                 tick.encode(out);
                 msgs.encode(out);
             }
             RunFrame::Nudge { tick } => {
-                encode_header(4, out);
+                encode_header(4, session, out);
                 tick.encode(out);
             }
             RunFrame::Step {
@@ -193,19 +287,19 @@ impl<M: Wire> Wire for RunFrame<M> {
                 assignments,
                 insoluble,
             } => {
-                encode_header(5, out);
+                encode_header(5, session, out);
                 sent.encode(out);
                 checks.encode(out);
                 assignments.encode(out);
                 insoluble.encode(out);
             }
-            RunFrame::Stop => encode_header(6, out),
+            RunFrame::Stop => encode_header(6, session, out),
             RunFrame::Final {
                 stats,
                 leftover_checks,
                 trace,
             } => {
-                encode_header(7, out);
+                encode_header(7, session, out);
                 stats.encode(out);
                 leftover_checks.encode(out);
                 trace.encode(out);
@@ -213,8 +307,9 @@ impl<M: Wire> Wire for RunFrame<M> {
         }
     }
 
-    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        match decode_header(r, "RunFrame")? {
+    fn decode_mux(r: &mut WireReader<'_>) -> Result<(u64, Self), WireError> {
+        let (tag, session) = decode_header(r, "RunFrame")?;
+        let frame = match tag {
             2 => Ok(RunFrame::Start),
             3 => Ok(RunFrame::Deliver {
                 tick: r.u64("RunFrame.Deliver.tick")?,
@@ -250,7 +345,19 @@ impl<M: Wire> Wire for RunFrame<M> {
                 context: "RunFrame",
                 tag,
             }),
-        }
+        }?;
+        Ok((session, frame))
+    }
+}
+
+impl<M: Wire> Wire for RunFrame<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_mux(SESSION_NONE, out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let (_session, frame) = Self::decode_mux(r)?;
+        Ok(frame)
     }
 }
 
@@ -329,16 +436,69 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut bytes = RunFrame::<AwcMessage>::Start.to_bytes();
-        if let Some(first) = bytes.first_mut() {
-            *first = WIRE_VERSION + 1;
+        for bad in [WIRE_VERSION + 1, MIN_WIRE_VERSION - 1, 0] {
+            let mut bytes = RunFrame::<AwcMessage>::Start.to_bytes();
+            if let Some(first) = bytes.first_mut() {
+                *first = bad;
+            }
+            assert_eq!(
+                RunFrame::<AwcMessage>::from_bytes(&bytes),
+                Err(WireError::BadVersion {
+                    got: bad,
+                    expected: WIRE_VERSION,
+                })
+            );
         }
+    }
+
+    #[test]
+    fn session_id_roundtrips_through_mux() {
+        let frame = Mux::new(0xDEAD_BEEF_CAFE_0001, SetupFrame::Hello { index: 7 });
+        let bytes = frame.to_bytes();
+        assert_eq!(Mux::<SetupFrame>::from_bytes(&bytes).as_ref(), Ok(&frame));
+
+        let run = Mux::new(42, RunFrame::<AwcMessage>::Nudge { tick: 9 });
+        let bytes = run.to_bytes();
+        assert_eq!(Mux::<RunFrame<AwcMessage>>::from_bytes(&bytes).as_ref(), Ok(&run));
+    }
+
+    #[test]
+    fn plain_wire_impls_imply_session_none() {
+        let bytes = SetupFrame::Hello { index: 3 }.to_bytes();
+        let mux = Mux::<SetupFrame>::from_bytes(&bytes).expect("v3 frame decodes as mux");
+        assert_eq!(mux.session, SESSION_NONE);
+        assert_eq!(mux.frame, SetupFrame::Hello { index: 3 });
+    }
+
+    #[test]
+    fn v2_frames_decode_as_session_none() {
+        // A hand-built v2 frame: [version=2 ‖ tag ‖ body], no session
+        // field. Both the plain and mux decoders must accept it.
+        let mut v2 = vec![2u8, 0u8];
+        3u32.encode(&mut v2);
         assert_eq!(
-            RunFrame::<AwcMessage>::from_bytes(&bytes),
-            Err(WireError::BadVersion {
-                got: WIRE_VERSION + 1,
-                expected: WIRE_VERSION,
-            })
+            SetupFrame::from_bytes(&v2),
+            Ok(SetupFrame::Hello { index: 3 })
         );
+        let mux = Mux::<SetupFrame>::from_bytes(&v2).expect("v2 frame decodes as mux");
+        assert_eq!(mux.session, SESSION_NONE);
+        assert_eq!(mux.frame, SetupFrame::Hello { index: 3 });
+
+        let mut v2 = vec![2u8, 4u8];
+        17u64.encode(&mut v2);
+        assert_eq!(
+            RunFrame::<AwcMessage>::from_bytes(&v2),
+            Ok(RunFrame::Nudge { tick: 17 })
+        );
+    }
+
+    #[test]
+    fn truncated_session_field_is_a_typed_error() {
+        // A v3 header cut off inside the session ID must fail with
+        // Truncated, never panic or misread the body as the session.
+        let full = Mux::new(7, RunFrame::<AwcMessage>::Start).to_bytes();
+        for len in 0..full.len() {
+            assert!(Mux::<RunFrame<AwcMessage>>::from_bytes(&full[..len]).is_err());
+        }
     }
 }

@@ -42,16 +42,21 @@ use discsp_runtime::{LinkPolicy, RuntimeError};
 mod coordinator;
 mod endpoint;
 mod frame;
+pub mod service;
 mod solve;
 mod topology;
 mod transport;
 
 pub use coordinator::{run_session, NetReport};
 pub use endpoint::run_agent;
-pub use frame::{RunFrame, SetupFrame, MAX_FRAME_LEN, WIRE_VERSION};
+pub use frame::{
+    Mux, MuxWire, RunFrame, SetupFrame, MAX_FRAME_LEN, MIN_WIRE_VERSION, SESSION_NONE,
+    WIRE_VERSION,
+};
+pub use service::{RejectReason, ServiceFrame, SessionOutcome, SubmitSpec};
 pub use solve::{AgentLaunch, SolveNet};
-pub use topology::{AgentSlice, AlgoSpec};
-pub use transport::FrameConn;
+pub use topology::{build_slices, AgentSlice, AlgoSpec};
+pub use transport::{Deadline, FrameConn};
 
 /// Configuration of a networked solve session.
 ///
@@ -131,6 +136,14 @@ pub enum NetError {
         /// Agents the session needs.
         expected: usize,
     },
+    /// An agent connected but did not complete its `Hello` within the
+    /// handshake window — a stalled client must not wedge session setup.
+    HelloTimeout {
+        /// Agents that completed the greeting.
+        completed: usize,
+        /// Agents the session needs.
+        expected: usize,
+    },
     /// An agent greeted with an index outside `0..n`.
     BadAgentIndex {
         /// The offending index.
@@ -183,6 +196,14 @@ impl fmt::Display for NetError {
             } => write!(
                 f,
                 "handshake timed out with {connected} of {expected} agents connected"
+            ),
+            NetError::HelloTimeout {
+                completed,
+                expected,
+            } => write!(
+                f,
+                "handshake timed out with {completed} of {expected} agents greeted \
+                 (a connected client stalled before Hello)"
             ),
             NetError::BadAgentIndex { index, population } => {
                 write!(f, "agent index {index} outside population of {population}")

@@ -17,6 +17,34 @@ use discsp_core::Wire;
 use crate::frame::MAX_FRAME_LEN;
 use crate::NetError;
 
+/// A wall-clock budget shared across the phases of session setup, so
+/// the accept loop and the per-connection `Hello` exchanges together
+/// cannot exceed one handshake window — a client that connects and then
+/// stalls burns the same budget as one that never connects.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    give_up: Instant,
+}
+
+impl Deadline {
+    /// Starts a budget of `total` from now.
+    pub fn new(total: Duration) -> Self {
+        Deadline {
+            give_up: Instant::now() + total,
+        }
+    }
+
+    /// Time left, or `None` once the budget is spent.
+    pub fn remaining(&self) -> Option<Duration> {
+        let now = Instant::now();
+        if now >= self.give_up {
+            None
+        } else {
+            Some(self.give_up - now)
+        }
+    }
+}
+
 /// A TCP stream carrying length-prefixed [`Wire`] frames.
 ///
 /// Every frame travels as a little-endian `u32` byte length followed by
@@ -59,6 +87,34 @@ impl FrameConn {
                 error,
             })?;
         Ok(FrameConn { stream })
+    }
+
+    /// Re-arms the read/write timeout on the live connection.
+    /// `Duration::ZERO` means block indefinitely. The coordinator uses
+    /// this to bound the `Hello` phase by the handshake deadline, then
+    /// restore the session's normal I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if the socket options cannot be set.
+    pub fn set_io_timeout(&mut self, io_timeout: Duration) -> Result<(), NetError> {
+        let timeout = if io_timeout.is_zero() {
+            None
+        } else {
+            Some(io_timeout)
+        };
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|error| NetError::Io {
+                context: "re-arming the read timeout",
+                error,
+            })?;
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(|error| NetError::Io {
+                context: "re-arming the write timeout",
+                error,
+            })
     }
 
     /// Sends one frame: length prefix, then the encoded body.
@@ -112,9 +168,11 @@ impl FrameConn {
     }
 }
 
-/// Accepts exactly `expected` connections within `deadline`, returning
-/// them in arrival order (the handshake, not arrival order, assigns
-/// agent indices).
+/// Accepts exactly `expected` connections within the shared `deadline`,
+/// returning them in arrival order (the handshake, not arrival order,
+/// assigns agent indices). The caller passes the same [`Deadline`] to
+/// the `Hello` phase, so connect time and greeting time draw on one
+/// budget.
 ///
 /// # Errors
 ///
@@ -123,7 +181,7 @@ impl FrameConn {
 pub fn accept_agents(
     listener: &TcpListener,
     expected: usize,
-    deadline: Duration,
+    deadline: &Deadline,
 ) -> Result<Vec<TcpStream>, NetError> {
     listener
         .set_nonblocking(true)
@@ -131,7 +189,6 @@ pub fn accept_agents(
             context: "switching the listener to non-blocking accept",
             error,
         })?;
-    let give_up = Instant::now() + deadline;
     let mut accepted = Vec::with_capacity(expected);
     while accepted.len() < expected {
         match listener.accept() {
@@ -147,7 +204,7 @@ pub fn accept_agents(
                 accepted.push(stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if Instant::now() >= give_up {
+                if deadline.remaining().is_none() {
                     return Err(NetError::HandshakeTimeout {
                         connected: accepted.len(),
                         expected,
@@ -245,7 +302,8 @@ mod tests {
     #[test]
     fn accept_times_out_with_a_typed_error() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let got = accept_agents(&listener, 2, Duration::from_millis(50));
+        let deadline = Deadline::new(Duration::from_millis(50));
+        let got = accept_agents(&listener, 2, &deadline);
         assert!(matches!(
             got,
             Err(NetError::HandshakeTimeout {
@@ -253,6 +311,26 @@ mod tests {
                 expected: 2,
             })
         ));
+    }
+
+    #[test]
+    fn deadline_expires_and_reports_remaining() {
+        let deadline = Deadline::new(Duration::from_secs(60));
+        assert!(deadline.remaining().is_some());
+        let spent = Deadline::new(Duration::ZERO);
+        thread::sleep(Duration::from_millis(1));
+        assert!(spent.remaining().is_none());
+    }
+
+    #[test]
+    fn io_timeout_can_be_rearmed_on_a_live_connection() {
+        let (client, server) = loopback_pair();
+        let mut rx = FrameConn::new(server, Duration::ZERO).expect("rx conn");
+        rx.set_io_timeout(Duration::from_millis(50)).expect("re-arm");
+        // No frame ever arrives: the bounded read must fail, not block.
+        let got = rx.recv::<SetupFrame>();
+        assert!(matches!(got, Err(NetError::Io { .. })));
+        drop(client);
     }
 
     #[test]

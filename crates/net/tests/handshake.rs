@@ -1,0 +1,144 @@
+//! Handshake robustness: a hostile or broken client must produce a
+//! typed error promptly — never a wedge, never a slot overwrite.
+//!
+//! Each test drives `run_session` with hand-rolled client sockets that
+//! misbehave in one specific way (claim a duplicate index, claim an
+//! out-of-range index, connect and then go silent) and asserts the
+//! coordinator's exact `NetError`.
+
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use discsp_awc::{AwcConfig, AwcMessage};
+use discsp_core::{Assignment, DistributedCsp, Domain, Value, Wire};
+use discsp_net::{
+    build_slices, run_session, AlgoSpec, NetConfig, NetError, SetupFrame, MAX_FRAME_LEN,
+};
+
+fn pair() -> DistributedCsp {
+    let mut b = DistributedCsp::builder();
+    let x = b.variable(Domain::new(3));
+    let y = b.variable(Domain::new(3));
+    b.not_equal(x, y).expect("edge");
+    b.build().expect("problem")
+}
+
+fn send_raw_frame(stream: &mut TcpStream, frame: &SetupFrame) {
+    use std::io::Write as _;
+    let body = frame.to_bytes();
+    assert!((body.len() as u64) < MAX_FRAME_LEN);
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .expect("prefix");
+    stream.write_all(&body).expect("body");
+}
+
+/// Runs the coordinator against two scripted clients and returns its
+/// error. `hellos` gives the index each client claims; `None` means the
+/// client connects and then stays silent.
+fn run_with_clients(hellos: [Option<u32>; 2], config: NetConfig) -> NetError {
+    let problem = pair();
+    let init = Assignment::total([Value::new(0), Value::new(0)]);
+    let slices =
+        build_slices(&problem, &init, AlgoSpec::Awc(AwcConfig::resolvent())).expect("slices");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let clients: Vec<_> = hellos
+        .into_iter()
+        .map(|hello| {
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                if let Some(index) = hello {
+                    send_raw_frame(&mut stream, &SetupFrame::Hello { index });
+                }
+                // Hold the socket open long enough for the coordinator
+                // to reach its verdict, then drop it.
+                thread::sleep(Duration::from_millis(600));
+            })
+        })
+        .collect();
+
+    let result = run_session::<AwcMessage>(&listener, &problem, &slices, &config);
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    result.expect_err("the session must fail")
+}
+
+fn short_config() -> NetConfig {
+    NetConfig {
+        handshake_timeout: Duration::from_millis(300),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn duplicate_hello_is_a_typed_error() {
+    let err = run_with_clients([Some(1), Some(1)], short_config());
+    assert!(
+        matches!(err, NetError::DuplicateAgentIndex { index: 1 }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn out_of_range_hello_is_a_typed_error() {
+    let err = run_with_clients([Some(0), Some(9)], short_config());
+    assert!(
+        matches!(
+            err,
+            NetError::BadAgentIndex {
+                index: 9,
+                population: 2,
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn stalled_client_cannot_wedge_session_setup() {
+    // The second client connects but never sends Hello. With an
+    // unbounded io_timeout the old coordinator blocked forever on its
+    // recv; the shared handshake deadline must instead produce a typed
+    // HelloTimeout within roughly the handshake window.
+    let config = NetConfig {
+        io_timeout: Duration::ZERO,
+        handshake_timeout: Duration::from_millis(300),
+        ..NetConfig::default()
+    };
+    let started = Instant::now();
+    let err = run_with_clients([Some(0), None], config);
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(
+            err,
+            NetError::HelloTimeout {
+                completed: _,
+                expected: 2,
+            }
+        ),
+        "got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "setup must fail promptly, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn missing_agent_times_out_the_accept_loop() {
+    let err = run_with_clients([Some(0), None], short_config());
+    // Depending on timing the silent client is caught either in the
+    // accept phase (if it never finished connecting) or in the Hello
+    // phase; both are typed timeouts.
+    assert!(
+        matches!(
+            err,
+            NetError::HelloTimeout { .. } | NetError::HandshakeTimeout { .. }
+        ),
+        "got {err:?}"
+    );
+}

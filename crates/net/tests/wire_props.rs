@@ -9,7 +9,10 @@ use discsp_core::{
     VarValue, VariableId, Wire, WireError,
 };
 use discsp_dba::{DbaMessage, WeightMode};
-use discsp_net::{AgentSlice, AlgoSpec, RunFrame, SetupFrame, WIRE_VERSION};
+use discsp_net::{
+    AgentSlice, AlgoSpec, Mux, RejectReason, RunFrame, ServiceFrame, SessionOutcome, SetupFrame,
+    SubmitSpec, SESSION_NONE, WIRE_VERSION,
+};
 use discsp_runtime::{AgentStats, Envelope, LinkPolicy, LinkStats, SplitMix64};
 use discsp_trace::{FaultKind, RuntimeKind, TraceEvent};
 
@@ -310,11 +313,12 @@ fn gen_fault_kind(rng: &mut SplitMix64) -> FaultKind {
 }
 
 fn gen_runtime_kind(rng: &mut SplitMix64) -> RuntimeKind {
-    match rng.next_below(4) {
+    match rng.next_below(5) {
         0 => RuntimeKind::Sync,
         1 => RuntimeKind::Virtual,
         2 => RuntimeKind::Async,
-        _ => RuntimeKind::Net,
+        3 => RuntimeKind::Net,
+        _ => RuntimeKind::Service,
     }
 }
 
@@ -462,6 +466,113 @@ fn truncation_errors_are_typed_not_panics() {
         ),
         "typed error, got {err:?}"
     );
+}
+
+fn gen_total_assignment(rng: &mut SplitMix64, n: usize) -> Assignment {
+    Assignment::total((0..n).map(|_| gen_value(rng, 8)))
+}
+
+fn gen_submit_spec(rng: &mut SplitMix64) -> SubmitSpec {
+    let n = 1 + rng.next_below(6) as usize;
+    SubmitSpec {
+        domains: (0..n)
+            .map(|_| Domain::new(2 + rng.next_below(7) as u16))
+            .collect(),
+        owners: (0..n).map(|i| AgentId::new(i as u32)).collect(),
+        nogoods: (0..rng.next_below(4)).map(|_| gen_nogood(rng)).collect(),
+        init: gen_total_assignment(rng, n),
+        algo: gen_algo(rng),
+        seed: rng.next_u64(),
+        link: gen_policy(rng),
+        max_ticks: rng.next_below(1 << 30),
+        max_nudges: rng.next_below(256),
+        record_trace: rng.next_below(2) == 0,
+    }
+}
+
+fn gen_reject_reason(rng: &mut SplitMix64) -> RejectReason {
+    match rng.next_below(4) {
+        0 => RejectReason::Overloaded,
+        1 => RejectReason::Draining,
+        2 => RejectReason::DuplicateSession,
+        _ => RejectReason::BadSpec,
+    }
+}
+
+fn gen_session_outcome(rng: &mut SplitMix64) -> SessionOutcome {
+    SessionOutcome {
+        metrics: gen_metrics(rng),
+        solution: match rng.next_below(2) {
+            0 => None,
+            _ => Some(gen_assignment(rng)),
+        },
+        ticks: rng.next_below(1 << 30),
+        activations: rng.next_below(1 << 30),
+        nudges: rng.next_below(256),
+        trace: gen_trace(rng),
+    }
+}
+
+fn gen_service_frame(rng: &mut SplitMix64) -> ServiceFrame {
+    match rng.next_below(8) {
+        0 => ServiceFrame::Submit {
+            spec: gen_submit_spec(rng),
+        },
+        1 => ServiceFrame::Cancel,
+        2 => ServiceFrame::Drain,
+        3 => ServiceFrame::Accepted,
+        4 => ServiceFrame::Rejected {
+            reason: gen_reject_reason(rng),
+        },
+        5 => ServiceFrame::Done {
+            outcome: gen_session_outcome(rng),
+        },
+        6 => ServiceFrame::Cancelled,
+        _ => ServiceFrame::Drained,
+    }
+}
+
+#[test]
+fn service_frames_roundtrip_and_reject_damage() {
+    let mut rng = SplitMix64::new(0xC0DE_5E81);
+    for _ in 0..TRIALS {
+        let frame = gen_service_frame(&mut rng);
+        assert_codec_properties(&frame);
+    }
+}
+
+#[test]
+fn mux_session_ids_roundtrip_and_reject_damage() {
+    // The v3 header carries the session id for every frame family; the
+    // codec properties must hold for arbitrary ids, including huge ones.
+    let mut rng = SplitMix64::new(0xC0DE_3030);
+    for _ in 0..TRIALS / 2 {
+        let session = rng.next_u64();
+        assert_codec_properties(&Mux::new(session, gen_service_frame(&mut rng)));
+        assert_codec_properties(&Mux::new(session, gen_setup_frame(&mut rng)));
+        assert_codec_properties(&Mux::new(session, gen_awc_run_frame(&mut rng)));
+    }
+}
+
+#[test]
+fn v2_encodings_cross_decode_as_session_none() {
+    // A v3 encoding is `[3, tag, session:8, body]`; the v2 encoding of
+    // the same frame is `[2, tag, body]`. Every v2 frame must decode on
+    // a v3 endpoint with the reserved session id 0.
+    let mut rng = SplitMix64::new(0xC0DE_0202);
+    for _ in 0..TRIALS {
+        let frame = gen_setup_frame(&mut rng);
+        let v3 = frame.to_bytes();
+        let mut v2 = Vec::with_capacity(v3.len() - 8);
+        v2.push(2u8);
+        v2.push(v3[1]);
+        v2.extend_from_slice(&v3[10..]);
+        let decoded = Mux::<SetupFrame>::from_bytes(&v2).expect("v2 cross-decode");
+        assert_eq!(decoded.session, SESSION_NONE);
+        assert_eq!(decoded.frame, frame);
+        // The plain impl agrees.
+        assert_eq!(SetupFrame::from_bytes(&v2).expect("plain decode"), frame);
+    }
 }
 
 #[test]

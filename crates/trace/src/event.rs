@@ -51,6 +51,9 @@ pub enum RuntimeKind {
     Async,
     /// The multi-process TCP coordinator (`discsp-net`).
     Net,
+    /// The multi-session solve service (`discsp-service`), which drives
+    /// many session state machines over one scheduler.
+    Service,
 }
 
 impl RuntimeKind {
@@ -61,6 +64,7 @@ impl RuntimeKind {
             RuntimeKind::Virtual => "virtual",
             RuntimeKind::Async => "async",
             RuntimeKind::Net => "net",
+            RuntimeKind::Service => "service",
         }
     }
 }
@@ -485,6 +489,7 @@ mod tests {
         assert_eq!(RuntimeKind::Virtual.to_string(), "virtual");
         assert_eq!(RuntimeKind::Async.to_string(), "async");
         assert_eq!(RuntimeKind::Net.to_string(), "net");
+        assert_eq!(RuntimeKind::Service.to_string(), "service");
     }
 
     #[test]

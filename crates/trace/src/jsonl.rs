@@ -509,6 +509,7 @@ fn event_from_object(obj: &BTreeMap<String, Json>) -> Result<TraceEvent, String>
                 "virtual" => RuntimeKind::Virtual,
                 "async" => RuntimeKind::Async,
                 "net" => RuntimeKind::Net,
+                "service" => RuntimeKind::Service,
                 other => return Err(format!("unknown runtime \"{other}\"")),
             };
             Ok(TraceEvent::RunEnd {

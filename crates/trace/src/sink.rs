@@ -102,6 +102,13 @@ impl RingBuffer {
     pub fn take(&mut self) -> Vec<TraceEvent> {
         self.events.drain(..).collect()
     }
+
+    /// Iterates the buffered events in recording order without draining
+    /// them (used by session snapshots, which must leave the live trace
+    /// in place so the session can keep running).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
 }
 
 impl Default for RingBuffer {
@@ -203,6 +210,16 @@ mod tests {
         assert_eq!(events[0].cycle(), 1);
         assert_eq!(events[1].cycle(), 2);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn iter_peeks_without_draining() {
+        let mut buf = RingBuffer::new();
+        buf.record(step(1));
+        buf.record(step(2));
+        let cycles: Vec<u64> = buf.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![1, 2]);
+        assert_eq!(buf.len(), 2);
     }
 
     #[test]

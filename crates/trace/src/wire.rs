@@ -44,6 +44,7 @@ impl Wire for RuntimeKind {
             RuntimeKind::Virtual => 1,
             RuntimeKind::Async => 2,
             RuntimeKind::Net => 3,
+            RuntimeKind::Service => 4,
         };
         out.push(tag);
     }
@@ -54,6 +55,7 @@ impl Wire for RuntimeKind {
             1 => Ok(RuntimeKind::Virtual),
             2 => Ok(RuntimeKind::Async),
             3 => Ok(RuntimeKind::Net),
+            4 => Ok(RuntimeKind::Service),
             tag => Err(WireError::BadTag {
                 context: "RuntimeKind",
                 tag,

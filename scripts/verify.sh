@@ -31,6 +31,16 @@ cargo run --release --offline -q -p discsp-trace -- audit "$soak_traces"/*.jsonl
 echo "==> explore smoke (fault-schedule campaign, fixed seed, all algorithms)"
 cargo run --release --offline -q -p discsp-explore -- --algo all --trials 200 --seed 1
 
+echo "==> service smoke (discsp-load fixed-seed matrix; every session trace re-audited)"
+service_traces="target/service-traces"
+rm -rf "$service_traces"
+for active in 4 32; do
+  cargo run --release --offline -q -p discsp-service --bin discsp-load -- \
+    --sessions 64 --seed 7 --active "$active" --budget 48 \
+    --trace-dir "$service_traces/active-$active" > /dev/null
+done
+cargo run --release --offline -q -p discsp-trace -- audit "$service_traces"/active-*/*.jsonl
+
 echo "==> net smoke (coordinator + agent processes over loopback TCP)"
 timeout 120 cargo test -q --release --offline -p discsp-net --test net_loopback
 
