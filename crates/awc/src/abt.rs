@@ -16,8 +16,8 @@ use discsp_core::{
     AgentId, AgentView, Domain, Nogood, NogoodStore, Priority, Rank, Value, VarValue, VariableId,
 };
 use discsp_runtime::{
-    AgentNote, AgentStats, Classify, DistributedAgent, Envelope, MessageClass, Outbox, SyncRun,
-    SyncSimulator,
+    run_sharded, run_virtual, AgentNote, AgentStats, Classify, DistributedAgent, Envelope,
+    MessageClass, Outbox, ShardConfig, SyncRun, SyncSimulator, VirtualConfig, VirtualReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -357,17 +357,17 @@ impl AbtSolver {
         self
     }
 
-    /// Runs ABT against `problem` from initial values `init`.
+    /// Builds the ABT agent population for `problem` from `init`.
     ///
     /// # Errors
     ///
     /// Fails when an agent owns a number of variables other than one, or
     /// an initial value is missing or out of domain.
-    pub fn solve_sync(
+    fn build_agents(
         &self,
         problem: &discsp_core::DistributedCsp,
         init: &discsp_core::Assignment,
-    ) -> Result<SyncRun, AwcError> {
+    ) -> Result<Vec<AbtAgent>, AwcError> {
         let mut agents = Vec::with_capacity(problem.num_agents());
         for a in 0..problem.num_agents() {
             let agent_id = AgentId::new(a as u32);
@@ -393,11 +393,60 @@ impl AbtSolver {
                 agent_id, var, domain, value, nogoods, neighbors,
             ));
         }
+        Ok(agents)
+    }
+
+    /// Runs ABT against `problem` from initial values `init` on the
+    /// synchronous cycle simulator.
+    ///
+    /// # Errors
+    ///
+    /// See [`AbtSolver::build_agents`].
+    pub fn solve_sync(
+        &self,
+        problem: &discsp_core::DistributedCsp,
+        init: &discsp_core::Assignment,
+    ) -> Result<SyncRun, AwcError> {
+        let agents = self.build_agents(problem, init)?;
         let mut sim = SyncSimulator::new(agents);
         sim.cycle_limit(self.cycle_limit)
             .record_history(self.record_history)
             .record_trace(self.record_trace);
         sim.run(problem).map_err(AwcError::from)
+    }
+
+    /// Runs ABT on the deterministic discrete-event runtime with link
+    /// faults: identical `(seed, LinkPolicy)` pairs replay
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// See [`AbtSolver::build_agents`].
+    pub fn solve_virtual(
+        &self,
+        problem: &discsp_core::DistributedCsp,
+        init: &discsp_core::Assignment,
+        config: &VirtualConfig,
+    ) -> Result<VirtualReport, AwcError> {
+        let agents = self.build_agents(problem, init)?;
+        run_virtual(agents, problem, config).map_err(AwcError::from)
+    }
+
+    /// Runs ABT on the M:N sharded executor. Reports are bit-identical
+    /// to [`AbtSolver::solve_virtual`] under `config.base` for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`AbtSolver::build_agents`].
+    pub fn solve_sharded(
+        &self,
+        problem: &discsp_core::DistributedCsp,
+        init: &discsp_core::Assignment,
+        config: &ShardConfig,
+    ) -> Result<VirtualReport, AwcError> {
+        let agents = self.build_agents(problem, init)?;
+        run_sharded(agents, problem, config).map_err(AwcError::from)
     }
 }
 

@@ -506,6 +506,19 @@ impl DistributedAgent for AwcAgent {
         // neighbor views staled by lost or reordered messages without
         // perturbing a consistent state.
         self.send_ok_to_all(out);
+        // §2.2's "same as the previously generated nogood → do nothing"
+        // rule assumes the previous copy is still working through the
+        // system. But an agent can re-enter the identical deadend after
+        // its neighbors have absorbed that nogood and gone quiet — it
+        // then stays silent in a violated state and the whole run
+        // stalls, even over perfect links. A recovery pass is exactly
+        // the signal that the system went quiet, so the assumption is
+        // dead: forget the dedup and re-evaluate. A consistent agent
+        // still does nothing (the review returns at "an agent does
+        // nothing"); a parked deadend re-sends its nogood, raises its
+        // priority, and moves.
+        self.last_generated = None;
+        self.review(out);
     }
 
     fn assignments(&self) -> Vec<VarValue> {
@@ -648,6 +661,71 @@ mod tests {
             msgs[0].payload,
             AwcMessage::Ok { value, .. } if value == Value::new(1)
         ));
+    }
+
+    #[test]
+    fn nudge_breaks_repeated_nogood_stall() {
+        // Both of x0's values are forbidden while x1 holds 0, so every
+        // time x1 outranks x0 the agent lands in a deadend whose
+        // resolvent is the same nogood {x1=0}. §2.2's "same as the
+        // previously generated nogood → do nothing" rule then leaves the
+        // agent silent in a violated state — over perfect links nobody
+        // will ever message it again, and the whole run stalls. The
+        // stall-recovery nudge must break exactly this state.
+        let mut agent = AwcAgent::new(
+            AgentId::new(0),
+            VariableId::new(0),
+            Domain::new(2),
+            Value::new(0),
+            vec![
+                Nogood::of([
+                    (VariableId::new(0), Value::new(0)),
+                    (VariableId::new(1), Value::new(0)),
+                ]),
+                Nogood::of([
+                    (VariableId::new(0), Value::new(1)),
+                    (VariableId::new(1), Value::new(0)),
+                ]),
+            ],
+            vec![(VariableId::new(1), AgentId::new(1))],
+            AwcConfig::resolvent(),
+        );
+        let ok_from_x1 = |priority: u64| {
+            Envelope::new(
+                AgentId::new(1),
+                AgentId::new(0),
+                AwcMessage::Ok {
+                    var: VariableId::new(1),
+                    value: Value::new(0),
+                    priority: Priority::new(priority),
+                },
+            )
+        };
+        // First deadend: learn and send the nogood, raise priority, move.
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(vec![ok_from_x1(5)], &mut out);
+        assert!(out
+            .drain()
+            .iter()
+            .any(|e| matches!(e.payload, AwcMessage::Nogood { .. })));
+        // x1 outranks us again: the identical deadend regenerates the
+        // identical nogood, and the §2.2 rule parks the agent in silence.
+        let mut out = Outbox::new(agent.id());
+        agent.on_batch(vec![ok_from_x1(10)], &mut out);
+        assert!(out.is_empty(), "the repeated-nogood rule must stay silent");
+        // The recovery pass re-announces AND re-evaluates: the suppressed
+        // nogood goes out again and the agent climbs out of the deadend.
+        let mut out = Outbox::new(agent.id());
+        agent.on_nudge(&mut out);
+        let msgs = out.drain();
+        assert!(
+            msgs.iter()
+                .any(|e| matches!(e.payload, AwcMessage::Nogood { .. })),
+            "nudge must re-send the suppressed nogood"
+        );
+        assert!(msgs
+            .iter()
+            .any(|e| matches!(e.payload, AwcMessage::Ok { .. })));
     }
 
     #[test]

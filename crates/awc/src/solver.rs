@@ -5,8 +5,8 @@ use std::fmt;
 
 use discsp_core::{AgentId, Assignment, DistributedCsp, VariableId};
 use discsp_runtime::{
-    run_async, run_virtual, AsyncConfig, AsyncReport, SyncRun, SyncSimulator, VirtualConfig,
-    VirtualReport,
+    run_async, run_sharded, run_virtual, AsyncConfig, AsyncReport, ShardConfig, SyncRun,
+    SyncSimulator, VirtualConfig, VirtualReport,
 };
 
 use crate::agent::{AwcAgent, AwcConfig};
@@ -255,6 +255,24 @@ impl AwcSolver {
     ) -> Result<VirtualReport, AwcError> {
         let agents = self.build_agents(problem, init)?;
         run_virtual(agents, problem, config).map_err(AwcError::from)
+    }
+
+    /// Runs on the M:N sharded executor: the deterministic virtual-time
+    /// semantics of [`AwcSolver::solve_virtual`], with agent activations
+    /// fanned out to `config.workers` threads. Reports are bit-identical
+    /// to `solve_virtual` under `config.base` for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`AwcSolver::build_agents`].
+    pub fn solve_sharded(
+        &self,
+        problem: &DistributedCsp,
+        init: &Assignment,
+        config: &ShardConfig,
+    ) -> Result<VirtualReport, AwcError> {
+        let agents = self.build_agents(problem, init)?;
+        run_sharded(agents, problem, config).map_err(AwcError::from)
     }
 }
 

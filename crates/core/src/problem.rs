@@ -54,6 +54,10 @@ pub struct DistributedCsp {
     relevant: Vec<Vec<usize>>,
     /// Per-variable sorted list of variables sharing at least one nogood.
     neighbors: Vec<Vec<VariableId>>,
+    /// Per-agent list of owned variables, in id order. Precomputed at
+    /// build time so `vars_of_agent` is O(own variables) — scanning all
+    /// variables per call made building n agents O(n²).
+    vars_of: Vec<Vec<VariableId>>,
 }
 
 impl DistributedCsp {
@@ -95,9 +99,10 @@ impl DistributedCsp {
         self.owners[var.index()]
     }
 
-    /// The variables owned by `agent`, in id order.
+    /// The variables owned by `agent`, in id order. Unknown agents own
+    /// nothing.
     pub fn vars_of_agent(&self, agent: AgentId) -> Vec<VariableId> {
-        self.vars().filter(|&v| self.owner(v) == agent).collect()
+        self.vars_of.get(agent.index()).cloned().unwrap_or_default()
     }
 
     /// All original constraint nogoods.
@@ -302,6 +307,12 @@ impl DistributedCspBuilder {
             list.sort();
             list.dedup();
         }
+        // Owners iterate in variable-id order, so each list comes out
+        // already sorted.
+        let mut vars_of: Vec<Vec<VariableId>> = vec![Vec::new(); num_agents];
+        for (i, agent) in self.owners.iter().enumerate() {
+            vars_of[agent.index()].push(VariableId::new(i as u32));
+        }
 
         Ok(DistributedCsp {
             domains: std::mem::take(&mut self.domains),
@@ -310,6 +321,7 @@ impl DistributedCspBuilder {
             nogoods: std::mem::take(&mut self.nogoods),
             relevant,
             neighbors,
+            vars_of,
         })
     }
 }

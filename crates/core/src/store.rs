@@ -541,7 +541,15 @@ const NO_WATCH: u32 = u32::MAX;
 #[derive(Debug)]
 pub struct IncrementalEval {
     own_var: VariableId,
-    /// Mirror of the last refreshed view, indexed densely by variable:
+    /// Sorted `(global variable index, local slot)` pairs mapping every
+    /// foreign variable this tracker has observed or watched to a dense
+    /// local slot. `shadow` and `watchers` are indexed by local slot, so
+    /// their size is proportional to the agent's *degree*, not to the
+    /// largest foreign variable id — indexing them by global id made
+    /// every agent carry an O(population) vector, which is quadratic
+    /// total memory at 10^5+ agents.
+    local_index: Vec<(u32, u32)>,
+    /// Mirror of the last refreshed view, indexed by local slot:
     /// value and the epoch at which the variable was last seen (stale
     /// epochs mark removed variables).
     shadow: Vec<Option<(Value, u64)>>,
@@ -585,8 +593,9 @@ pub struct IncrementalEval {
     /// `watches`, so watcher lists can be maintained without re-reading
     /// possibly-overwritten literals).
     watch_vars: Vec<[u32; 2]>,
-    /// `watchers[var]`: exactly the slots currently holding a watch on
-    /// `var` (eagerly maintained — no stale entries).
+    /// `watchers[local slot of var]`: exactly the slots currently
+    /// holding a watch on `var` (eagerly maintained — no stale entries).
+    /// Always the same length as `shadow`.
     watchers: Vec<Vec<u32>>,
     /// Scratch buffers recycled across refreshes (per-refresh heap
     /// allocation was the small-store regression).
@@ -621,6 +630,7 @@ impl IncrementalEval {
     pub fn new(own_var: VariableId) -> Self {
         IncrementalEval {
             own_var,
+            local_index: Vec::new(),
             shadow: Vec::new(),
             present: Vec::new(),
             epoch: 0,
@@ -657,6 +667,32 @@ impl IncrementalEval {
         self.watched_mode
     }
 
+    /// The local slot of global variable index `g`, if it was ever
+    /// observed or watched.
+    #[inline]
+    fn local_of(&self, g: u32) -> Option<u32> {
+        self.local_index
+            .binary_search_by_key(&g, |&(gv, _)| gv)
+            .ok()
+            .map(|p| self.local_index[p].1)
+    }
+
+    /// The local slot of global variable index `g`, allocating the slot
+    /// (and its `shadow`/`watchers` cells) on first touch. Slots are
+    /// stable: once handed out, a slot never moves.
+    fn local_or_insert(&mut self, g: u32) -> u32 {
+        match self.local_index.binary_search_by_key(&g, |&(gv, _)| gv) {
+            Ok(p) => self.local_index[p].1,
+            Err(p) => {
+                let local = self.shadow.len() as u32;
+                self.local_index.insert(p, (g, local));
+                self.shadow.push(None);
+                self.watchers.push(Vec::new());
+                local
+            }
+        }
+    }
+
     /// Synchronizes the caches with `store` and `view`.
     ///
     /// `view` is the complete foreign assignment (it must never contain
@@ -682,10 +718,7 @@ impl IncrementalEval {
                 "the view passed to IncrementalEval::refresh must not \
                  contain the own variable"
             );
-            let slot_idx = var.index();
-            if slot_idx >= self.shadow.len() {
-                self.shadow.resize(slot_idx + 1, None);
-            }
+            let slot_idx = self.local_or_insert(var.index() as u32) as usize;
             match &mut self.shadow[slot_idx] {
                 Some((stored, stamp)) => {
                     if *stored != value {
@@ -702,10 +735,16 @@ impl IncrementalEval {
             seen.push(var);
         }
         // Variables not seen this epoch were removed from the view.
+        // Present variables always have a local slot (allocated when
+        // they were first observed above).
         for &var in &self.present {
-            if let Some((_, stamp)) = self.shadow[var.index()] {
+            let Some(local) = self.local_of(var.index() as u32) else {
+                continue;
+            };
+            let li = local as usize;
+            if let Some((_, stamp)) = self.shadow[li] {
                 if stamp != epoch {
-                    self.shadow[var.index()] = None;
+                    self.shadow[li] = None;
                     changed.push(var);
                 }
             }
@@ -845,10 +884,8 @@ impl IncrementalEval {
     /// literal *blocks* the nogood.
     #[inline]
     fn matches_shadow(&self, e: &VarValue) -> bool {
-        self.shadow
-            .get(e.var.index())
-            .copied()
-            .flatten()
+        self.local_of(e.var.index() as u32)
+            .and_then(|li| self.shadow[li as usize])
             .map(|(v, _)| v)
             == Some(e.value)
     }
@@ -920,12 +957,12 @@ impl IncrementalEval {
         // Pass 2: watch propagation. Only slots whose watched variable
         // fired are visited.
         for &var in changed {
-            let vi = var.index();
-            if vi >= self.watchers.len() {
+            let vi32 = var.index() as u32;
+            let Some(local) = self.local_of(vi32) else {
                 continue;
-            }
-            let vi32 = vi as u32;
-            let mut list = mem::take(&mut self.watchers[vi]);
+            };
+            let li = local as usize;
+            let mut list = mem::take(&mut self.watchers[li]);
             let mut kept = 0usize;
             'entries: for e in 0..list.len() {
                 let slot = list[e];
@@ -995,22 +1032,22 @@ impl IncrementalEval {
                 // Fired entry dropped (not copied to the kept region).
             }
             list.truncate(kept);
-            self.watchers[vi] = list;
+            // Local slots are stable, so `li` still addresses `var`'s
+            // list even if `add_watcher` allocated new slots above.
+            self.watchers[li] = list;
         }
     }
 
     fn add_watcher(&mut self, var_index: u32, slot: u32) {
-        let vi = var_index as usize;
-        if vi >= self.watchers.len() {
-            self.watchers.resize_with(vi + 1, Vec::new);
-        }
-        self.watchers[vi].push(slot);
+        let li = self.local_or_insert(var_index) as usize;
+        self.watchers[li].push(slot);
     }
 
     fn remove_watcher(&mut self, var_index: u32, slot: u32) {
-        let Some(list) = self.watchers.get_mut(var_index as usize) else {
+        let Some(local) = self.local_of(var_index) else {
             return;
         };
+        let list = &mut self.watchers[local as usize];
         if let Some(pos) = list.iter().position(|&s| s == slot) {
             list.swap_remove(pos);
         }

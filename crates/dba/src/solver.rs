@@ -5,8 +5,8 @@ use std::fmt;
 
 use discsp_core::{AgentId, Assignment, DistributedCsp, VariableId};
 use discsp_runtime::{
-    run_async, run_virtual, AsyncConfig, AsyncReport, SyncRun, SyncSimulator, VirtualConfig,
-    VirtualReport,
+    run_async, run_sharded, run_virtual, AsyncConfig, AsyncReport, ShardConfig, SyncRun,
+    SyncSimulator, VirtualConfig, VirtualReport,
 };
 
 use crate::agent::{DbaAgent, WeightMode};
@@ -254,6 +254,26 @@ impl DbaSolver {
         let mut config = config.clone();
         config.stop_on_first_solution = true;
         run_virtual(agents, problem, &config).map_err(DbaError::from)
+    }
+
+    /// Runs on the M:N sharded executor with the same forced
+    /// `stop_on_first_solution` semantics as [`DbaSolver::solve_virtual`]
+    /// — the breakout's waves never quiesce. Reports are bit-identical
+    /// to `solve_virtual` under `config.base` for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`DbaSolver::build_agents`].
+    pub fn solve_sharded(
+        &self,
+        problem: &DistributedCsp,
+        init: &Assignment,
+        config: &ShardConfig,
+    ) -> Result<VirtualReport, DbaError> {
+        let agents = self.build_agents(problem, init)?;
+        let mut config = config.clone();
+        config.base.stop_on_first_solution = true;
+        run_sharded(agents, problem, &config).map_err(DbaError::from)
     }
 }
 

@@ -165,6 +165,12 @@ pub struct CampaignConfig {
     pub max_nudges: u64,
     /// Whether to delta-debug failing schedules.
     pub minimize: bool,
+    /// Worker threads for the M:N sharded executor; `0` keeps trials on
+    /// the single-threaded virtual executor. Because the sharded
+    /// executor is bit-identical to the virtual one, every oracle —
+    /// including replay determinism and scripted minimization —
+    /// applies unchanged.
+    pub workers: usize,
 }
 
 impl CampaignConfig {
@@ -179,6 +185,7 @@ impl CampaignConfig {
             max_ticks: 200_000,
             max_nudges: 200,
             minimize: true,
+            workers: 0,
         }
     }
 }
@@ -348,7 +355,8 @@ fn run_trial(config: &CampaignConfig, trial: u64) -> Result<Option<Finding>, Str
         Subject::k4(config.algo)?
     } else {
         Subject::coloring(config.algo, config.agents, instance_seed)?
-    };
+    }
+    .on_sharded(config.workers);
     let max_ticks = if subject.truth == GroundTruth::Insoluble && !subject.complete {
         config.max_ticks.min(INSOLUBLE_TICK_CAP)
     } else {
@@ -565,6 +573,28 @@ mod tests {
         let log = FaultSchedule::new(events);
         assert!(log.len() > MINIMIZE_EVENT_CAP);
         assert!(minimize_finding(&subject, &config, &log, "conservation").is_none());
+    }
+
+    #[test]
+    fn sharded_campaign_is_clean_and_replays_like_the_virtual_one() {
+        // The campaign smoke for the M:N executor: the same trials must
+        // pass every oracle (including the bit-replay determinism check,
+        // which now replays *sharded* runs) and raise exactly the same
+        // findings as the virtual executor — none.
+        let base = CampaignConfig {
+            trials: 20,
+            minimize: false,
+            ..CampaignConfig::new(Algo::AwcRslv)
+        };
+        let virtual_report = run_campaign(&base).unwrap();
+        assert!(virtual_report.clean(), "{:?}", virtual_report.findings);
+        let sharded = CampaignConfig {
+            workers: 4,
+            ..base
+        };
+        let sharded_report = run_campaign(&sharded).unwrap();
+        assert!(sharded_report.clean(), "{:?}", sharded_report.findings);
+        assert_eq!(sharded_report.trials_run, virtual_report.trials_run);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use discsp_core::{Assignment, DistributedCsp, Domain, Value};
 use discsp_cspsolve::{Backtracker, SolveResult};
 use discsp_dba::DbaSolver;
 use discsp_probgen::{coloring_to_discsp, paper_coloring};
-use discsp_runtime::{TraceEvent, VirtualConfig, VirtualReport};
+use discsp_runtime::{ShardConfig, TraceEvent, VirtualConfig, VirtualReport};
 
 /// Node budget for the centralized ground-truth solver. The campaign
 /// instances are small (tens of variables), so the backtracker settles
@@ -123,6 +123,11 @@ pub struct Subject {
     /// Whether the deployed configuration is complete: a cutoff under a
     /// generous budget on a solvable instance is then a violation.
     pub complete: bool,
+    /// Worker threads for the sharded executor; `0` keeps runs on the
+    /// single-threaded virtual executor. Either way the run is a pure
+    /// function of the config — the sharded executor is bit-identical to
+    /// the virtual one — so the campaign's oracles apply unchanged.
+    pub workers: usize,
     sabotage: Sabotage,
 }
 
@@ -186,8 +191,16 @@ impl Subject {
             init,
             truth,
             complete,
+            workers: 0,
             sabotage: Sabotage::None,
         })
+    }
+
+    /// Moves the subject's runs onto the M:N sharded executor with
+    /// `workers` threads; `0` restores the virtual executor.
+    pub fn on_sharded(mut self, workers: usize) -> Subject {
+        self.workers = workers;
+        self
     }
 
     /// Arms a test-only corruption (see [`Sabotage`]). Campaign code
@@ -198,22 +211,39 @@ impl Subject {
         self
     }
 
-    /// Runs the subject once on the virtual executor.
+    /// Runs the subject once — on the virtual executor, or on the
+    /// sharded executor when [`Subject::on_sharded`] armed a worker
+    /// count.
     ///
     /// # Errors
     ///
     /// Propagates solver-construction and runtime failures as strings.
     pub fn run(&self, config: &VirtualConfig) -> Result<VirtualReport, String> {
-        let mut report = match self.algo {
-            Algo::Awc => AwcSolver::new(AwcConfig::no_learning())
-                .solve_virtual(&self.problem, &self.init, config)
-                .map_err(|e| e.to_string())?,
-            Algo::AwcRslv => AwcSolver::new(AwcConfig::resolvent())
-                .solve_virtual(&self.problem, &self.init, config)
-                .map_err(|e| e.to_string())?,
-            Algo::Dba => DbaSolver::new()
-                .solve_virtual(&self.problem, &self.init, config)
-                .map_err(|e| e.to_string())?,
+        let mut report = if self.workers > 0 {
+            let sharded = ShardConfig::with_base(config.clone(), self.workers);
+            match self.algo {
+                Algo::Awc => AwcSolver::new(AwcConfig::no_learning())
+                    .solve_sharded(&self.problem, &self.init, &sharded)
+                    .map_err(|e| e.to_string())?,
+                Algo::AwcRslv => AwcSolver::new(AwcConfig::resolvent())
+                    .solve_sharded(&self.problem, &self.init, &sharded)
+                    .map_err(|e| e.to_string())?,
+                Algo::Dba => DbaSolver::new()
+                    .solve_sharded(&self.problem, &self.init, &sharded)
+                    .map_err(|e| e.to_string())?,
+            }
+        } else {
+            match self.algo {
+                Algo::Awc => AwcSolver::new(AwcConfig::no_learning())
+                    .solve_virtual(&self.problem, &self.init, config)
+                    .map_err(|e| e.to_string())?,
+                Algo::AwcRslv => AwcSolver::new(AwcConfig::resolvent())
+                    .solve_virtual(&self.problem, &self.init, config)
+                    .map_err(|e| e.to_string())?,
+                Algo::Dba => DbaSolver::new()
+                    .solve_virtual(&self.problem, &self.init, config)
+                    .map_err(|e| e.to_string())?,
+            }
         };
         if self.sabotage == Sabotage::UnderreportDuplicates {
             underreport_duplicates(&mut report);

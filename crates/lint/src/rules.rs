@@ -910,6 +910,17 @@ mod tests {
             rules_for("crates/runtime/src/sync.rs"),
             vec![Rule::D1, Rule::D2, Rule::P1]
         );
+        // The sharded executor and its slab/shard-plan arena live on the
+        // determinism-critical replay path: same policing as the rest of
+        // the runtime.
+        assert_eq!(
+            rules_for("crates/runtime/src/shard.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
+        assert_eq!(
+            rules_for("crates/runtime/src/pool.rs"),
+            vec![Rule::D1, Rule::D2, Rule::P1]
+        );
         assert_eq!(rules_for("crates/cspsolve/src/backtrack.rs"), vec![Rule::D1]);
         assert_eq!(rules_for("crates/probgen/src/lib.rs"), vec![Rule::D1]);
         assert_eq!(rules_for("crates/lint/src/main.rs"), Vec::<Rule>::new());

@@ -313,12 +313,13 @@ fn gen_fault_kind(rng: &mut SplitMix64) -> FaultKind {
 }
 
 fn gen_runtime_kind(rng: &mut SplitMix64) -> RuntimeKind {
-    match rng.next_below(5) {
+    match rng.next_below(6) {
         0 => RuntimeKind::Sync,
         1 => RuntimeKind::Virtual,
         2 => RuntimeKind::Async,
         3 => RuntimeKind::Net,
-        _ => RuntimeKind::Service,
+        4 => RuntimeKind::Service,
+        _ => RuntimeKind::Sharded,
     }
 }
 

@@ -166,10 +166,13 @@ pub trait DistributedAgent {
     }
 
     /// Called by a runtime when the system has gone quiet without a
-    /// solution while faults are being injected: the agent may re-announce
-    /// its current state (an idempotent refresh) to repair views staled by
-    /// lost or reordered traffic. The default does nothing — protocols
-    /// that already tolerate silence need no refresh.
+    /// solution: the agent may re-announce its current state (an
+    /// idempotent refresh) to repair views staled by lost or reordered
+    /// traffic, and re-evaluate any decision it suppressed on the
+    /// assumption that earlier messages were still in flight (AWC's
+    /// repeated-nogood rule) — after a detected stall that assumption no
+    /// longer holds. The default does nothing — protocols that already
+    /// tolerate silence need no refresh.
     fn on_nudge(&mut self, out: &mut Outbox<Self::Message>) {
         let _ = out;
     }

@@ -19,10 +19,15 @@
 //! a delayed message stays counted while held back. `in_flight == 0`
 //! therefore still implies global quiescence, and quiescence plus a
 //! consistent global snapshot implies a stable solution (agents only act
-//! on messages). A quiescent *non*-solution is a permanent stall — the
-//! observer then either triggers a recovery pass (retransmit parked
-//! drops, ask agents to re-announce) or, when nothing remains to recover,
-//! reports the cutoff immediately instead of idling out the wall clock.
+//! on messages). A quiescent *non*-solution is a stall — the observer
+//! answers it with bounded recovery passes (retransmit parked drops, ask
+//! agents to re-announce and re-evaluate via
+//! [`DistributedAgent::on_nudge`]) before reporting a cutoff, instead of
+//! idling out the wall clock. Recovery is *not* gated on the fault
+//! policy: a protocol can park itself without losing a single message
+//! (AWC's repeated-nogood rule silences a deadended agent), so perfect
+//! links stall too — rarely, and only under real-concurrency
+//! interleavings, which is exactly where this runtime lives.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,8 +66,10 @@ pub struct AsyncConfig {
     /// Fault policy applied to every link (default: perfect links).
     pub link: LinkPolicy,
     /// How many stall-triggered recovery passes to run before reporting a
-    /// cutoff. Irrelevant with perfect links (a quiescent non-solution is
-    /// then immediately final).
+    /// cutoff. Recovery runs even over perfect links: a protocol can park
+    /// itself without any message loss (AWC's "same nogood as last time →
+    /// do nothing" rule leaves a deadended agent silent), and a nudge is
+    /// the only way back out.
     pub max_nudges: u64,
     /// Record each worker's deliveries, sends, faults, and agent steps
     /// into [`AsyncReport::trace`] (merged and canonically sorted at
@@ -110,6 +117,51 @@ pub struct AsyncReport {
 struct Timed<M> {
     due: u64,
     env: Envelope<M>,
+}
+
+/// One worker's outgoing links, materialized on first use.
+///
+/// Workers used to pre-build a dense `Vec<Link>` of length n each —
+/// O(agents²) total allocation before the first message flowed. A link's
+/// stream seed is a pure function of `(run_seed, from, to)`, so lazy
+/// creation changes nothing observable while keeping per-agent memory
+/// proportional to the neighbors actually messaged.
+struct SenderLinks {
+    from: AgentId,
+    policy: LinkPolicy,
+    run_seed: u64,
+    links: std::collections::BTreeMap<usize, Link>,
+}
+
+impl SenderLinks {
+    fn new(from: AgentId, policy: LinkPolicy, run_seed: u64) -> Self {
+        SenderLinks {
+            from,
+            policy,
+            run_seed,
+            links: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The link to recipient `to`, created on first touch. Callers must
+    /// have validated `to` against the population already.
+    fn link_mut(&mut self, to: usize) -> &mut Link {
+        let from = self.from;
+        let policy = self.policy;
+        let run_seed = self.run_seed;
+        self.links.entry(to).or_insert_with(|| {
+            Link::new(policy, derive_link_seed(run_seed, from, AgentId::new(to as u32)))
+        })
+    }
+
+    /// Fault counters summed over every link touched so far.
+    fn totals(&self) -> LinkStats {
+        let mut totals = LinkStats::default();
+        for link in self.links.values() {
+            totals.absorb(link.stats);
+        }
+        totals
+    }
 }
 
 struct Shared {
@@ -226,6 +278,9 @@ where
 
     let (senders, receivers): (Vec<Sender<Timed<A::Message>>>, Vec<_>) =
         (0..n).map(|_| unbounded()).unzip();
+    // One shared slice of senders: cloning a Vec per worker was another
+    // O(agents²) allocation.
+    let senders: Arc<[Sender<Timed<A::Message>>]> = senders.into();
 
     // lint: allow(timing): wall-clock cutoff is inherent to the async
     // runtime; the paper's cycle/maxcck metrics are sync-simulator-only.
@@ -233,18 +288,11 @@ where
     let mut handles = Vec::with_capacity(n);
     for (i, (mut agent, rx)) in agents.into_iter().zip(receivers).enumerate() {
         let shared = Arc::clone(&shared);
-        let senders = senders.clone();
+        let senders = Arc::clone(&senders);
         let jitter = config.jitter_micros;
         let mut rng = SplitMix64::new(config.seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
         let from = AgentId::new(i as u32);
-        let mut links: Vec<Link> = (0..n)
-            .map(|j| {
-                Link::new(
-                    config.link,
-                    derive_link_seed(config.seed, from, AgentId::new(j as u32)),
-                )
-            })
-            .collect();
+        let mut links = SenderLinks::new(from, config.link, config.seed);
         let record = config.record_trace;
         handles.push(thread::spawn(move || {
             let _sentinel = PanicSentinel {
@@ -281,10 +329,7 @@ where
                 thread::sleep(Duration::from_micros(20));
             }
             drop(rx);
-            let mut faults = LinkStats::default();
-            for link in &links {
-                faults.absorb(link.stats);
-            }
+            let faults = links.totals();
             (agent, faults, checks_total, sink.take())
         }));
     }
@@ -334,7 +379,10 @@ where
             && quiescent
             && shared.nudge_acks.load(Ordering::SeqCst) == nudges.saturating_mul(n as u64)
         {
-            if !config.link.is_perfect() && nudges < config.max_nudges {
+            // Even perfect links can stall: a protocol may park itself
+            // (AWC's repeated-nogood rule silences a deadended agent), so
+            // recovery passes run regardless of the fault policy.
+            if nudges < config.max_nudges {
                 nudges += 1;
                 shared.nudge_epoch.store(nudges, Ordering::SeqCst);
                 continue;
@@ -451,7 +499,7 @@ fn worker<A: DistributedAgent>(
     shared: &Shared,
     jitter_micros: u64,
     rng: &mut SplitMix64,
-    links: &mut [Link],
+    links: &mut SenderLinks,
     sink: &mut RingBuffer,
     checks_total: &mut u64,
 ) {
@@ -495,6 +543,12 @@ fn worker<A: DistributedAgent>(
             *checks_total += checks;
             recorder.record_step(agent, shared.tick.load(Ordering::SeqCst), checks, sink);
             shared.nudge_acks.fetch_add(1, Ordering::SeqCst);
+            // The nudge re-review can derive the empty nogood just like a
+            // batch can; the observer polls this flag before the acks.
+            if agent.detected_insoluble() {
+                shared.insoluble.store(true, Ordering::SeqCst);
+                return;
+            }
         }
 
         // Messages ripen as the observer advances the virtual clock.
@@ -584,7 +638,7 @@ fn count_class(class: MessageClass, shared: &Shared) {
 /// successfully enqueued traffic.
 fn dispatch<M: Classify + Clone>(
     mut out: Outbox<M>,
-    links: &mut [Link],
+    links: &mut SenderLinks,
     parked: &mut Vec<Envelope<M>>,
     senders: &[Sender<Timed<M>>],
     shared: &Shared,
@@ -597,7 +651,7 @@ fn dispatch<M: Classify + Clone>(
     let now = shared.tick.load(Ordering::SeqCst);
     for env in msgs {
         let to = env.to.index();
-        let (Some(sender), Some(link)) = (senders.get(to), links.get_mut(to)) else {
+        let Some(sender) = senders.get(to) else {
             // Unroutable addressee: report it instead of panicking the
             // worker thread; the observer turns this into an error. The
             // message never entered the network, so it leaves the
@@ -609,7 +663,7 @@ fn dispatch<M: Classify + Clone>(
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             continue;
         };
-        let decision = link.route(now);
+        let decision = links.link_mut(to).route(now);
         if sink.enabled() {
             sink.record(TraceEvent::Sent {
                 cycle: now,
@@ -674,7 +728,7 @@ fn dispatch<M: Classify + Clone>(
 /// the point they rejoin the network.
 fn flush_parked<M: Classify + Clone>(
     parked: &mut Vec<Envelope<M>>,
-    links: &mut [Link],
+    links: &mut SenderLinks,
     senders: &[Sender<Timed<M>>],
     shared: &Shared,
     sink: &mut RingBuffer,
@@ -688,10 +742,10 @@ fn flush_parked<M: Classify + Clone>(
         let to = env.to.index();
         // Parked messages passed routing before they were dropped, so the
         // recipient exists; the guard only satisfies the panic-free zone.
-        let (Some(sender), Some(link)) = (senders.get(to), links.get_mut(to)) else {
+        let Some(sender) = senders.get(to) else {
             continue;
         };
-        let (due, faults) = link.redeliver(now);
+        let (due, faults) = links.link_mut(to).redeliver(now);
         if sink.enabled() {
             sink.record(TraceEvent::Fault {
                 cycle: now,
@@ -859,10 +913,12 @@ mod tests {
     #[test]
     fn async_run_cuts_off_unsolvable_gossip_on_stall() {
         // Nobody holds `true`, so the ring can never satisfy the problem;
-        // gossip quiesces at all-false, which is not a solution. With
-        // perfect links the stall is detected as soon as the system goes
-        // quiet — well inside the (deliberately generous) wall limit —
-        // so this cannot flake on a loaded machine.
+        // gossip quiesces at all-false, which is not a solution. The
+        // stall is detected as soon as the system goes quiet; the bounded
+        // recovery passes (gossip re-announces, state never changes) burn
+        // through quickly, so the cutoff still lands well inside the
+        // (deliberately generous) wall limit and cannot flake on a
+        // loaded machine.
         let problem = all_true_problem(3);
         let mut agents = ring(3);
         agents[0].value = Value::FALSE;
@@ -874,6 +930,10 @@ mod tests {
         assert_eq!(report.outcome.metrics.termination, Termination::CutOff);
         assert!(report.outcome.solution.is_none());
         assert!(report.quiescent, "cutoff must come from a detected stall");
+        assert_eq!(
+            report.nudges, config.max_nudges,
+            "a perfect-link stall must exhaust recovery before cutoff"
+        );
         assert!(
             report.wall_time < Duration::from_secs(60),
             "stall detection must beat the wall-clock limit"

@@ -35,6 +35,13 @@ pub enum RuntimeError {
         /// The agent whose thread died.
         agent: AgentId,
     },
+    /// A shard worker thread died mid-run (sharded runtime only): an
+    /// agent panicked while its shard drained a wave. The panic also
+    /// resurfaces when the worker scope unwinds.
+    ShardWorkerDied {
+        /// Index of the shard whose worker died.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -50,6 +57,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::AgentPanicked { agent } => {
                 write!(f, "thread of agent {agent} panicked; its results are lost")
+            }
+            RuntimeError::ShardWorkerDied { shard } => {
+                write!(f, "worker of shard {shard} died mid-run; its results are lost")
             }
         }
     }

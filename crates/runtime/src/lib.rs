@@ -11,6 +11,10 @@
 //! * [`run_virtual`] — a single-threaded discrete-event executor over the
 //!   same agents and the same [`Link`] fault layer, fully deterministic:
 //!   a failing `(seed, LinkPolicy)` pair replays bit-identically.
+//! * [`run_sharded`] — the M:N sharded executor: `run_virtual`'s
+//!   deterministic semantics with agent activations fanned out to a
+//!   fixed pool of worker threads owning slab-pooled per-shard arenas.
+//!   Bit-identical to `run_virtual` for any worker count.
 //!
 //! The [`link`](crate::Link) layer injects seeded drop, duplication,
 //! delay, and reordering faults into either runtime's traffic, with
@@ -33,8 +37,10 @@ mod asynchronous;
 mod error;
 mod link;
 mod message;
+mod pool;
 mod recorder;
 mod router;
+mod shard;
 mod schedule;
 mod seed;
 mod sync;
@@ -52,8 +58,10 @@ pub use link::{
     VirtualReport, PPM,
 };
 pub use message::{Classify, Envelope, MessageClass};
+pub use pool::{ShardPlan, Slab};
 pub use recorder::StepRecorder;
 pub use router::Router;
+pub use shard::{run_sharded, ShardConfig};
 pub use schedule::{FaultAction, FaultEvent, FaultSchedule, ScheduleParseError};
 pub use seed::{derive_seed, SplitMix64};
 pub use sync::{CycleRecord, SyncRun, SyncSimulator};

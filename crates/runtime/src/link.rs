@@ -498,9 +498,11 @@ pub struct VirtualReport {
 ///
 /// Quiescence detection is exact by construction: the event queue *is*
 /// the in-flight set. When it drains, the snapshot is checked; if the
-/// system stalled short of a solution while faults are enabled, a
-/// recovery pass retransmits parked drops and asks agents to re-announce
-/// ([`DistributedAgent::on_nudge`]), up to `config.max_nudges` times.
+/// system stalled short of a solution, a recovery pass retransmits parked
+/// drops and asks agents to re-announce and re-evaluate
+/// ([`DistributedAgent::on_nudge`]), up to `config.max_nudges` times —
+/// regardless of the fault policy, since a protocol can park itself
+/// without losing a message.
 ///
 /// # Errors
 ///
@@ -528,9 +530,6 @@ where
         Some(schedule) => Router::scripted(n, schedule, config.seed, config.record_trace),
         None => Router::new(n, config.link, config.seed, config.record_trace),
     };
-    // A perfect policy cannot stall, so nudging is pointless — unless a
-    // schedule is scripting faults, in which case the policy says nothing.
-    let faults_enabled = config.schedule.is_some() || !config.link.is_perfect();
     let mut recorder = StepRecorder::new();
 
     let mut metrics = RunMetrics::new(Termination::CutOff);
@@ -582,7 +581,11 @@ where
                 termination = Termination::Solved;
                 break;
             }
-            if !faults_enabled || nudges >= config.max_nudges {
+            // Recovery is not gated on the fault policy: a protocol can
+            // park itself without losing a message (AWC's repeated-nogood
+            // rule silences a deadended agent), so perfect links get the
+            // same bounded nudge treatment.
+            if nudges >= config.max_nudges {
                 termination = Termination::CutOff;
                 break;
             }
@@ -1122,18 +1125,23 @@ mod tests {
 
     #[test]
     fn virtual_run_cuts_off_unsolvable_quiescence() {
-        // All-false gossip quiesces immediately at a non-solution; with
-        // perfect links there is nothing to recover, so the run reports a
-        // cutoff without consuming the tick budget.
+        // All-false gossip quiesces at a non-solution. Stalls get the
+        // bounded nudge treatment even over perfect links (an agent
+        // protocol can park itself without message loss); the gossip
+        // ring re-announces on every nudge without ever changing state,
+        // so the run burns the whole budget and then reports a cutoff —
+        // still far inside the tick budget.
         let problem = all_true_problem(3);
         let mut agents = ring(3);
         for a in agents.iter_mut() {
             a.value = Value::FALSE;
         }
-        let report = run_virtual(agents, &problem, &VirtualConfig::default()).expect("runs");
+        let config = VirtualConfig::default();
+        let report = run_virtual(agents, &problem, &config).expect("runs");
         assert_eq!(report.outcome.metrics.termination, Termination::CutOff);
         assert!(report.outcome.solution.is_none());
-        assert_eq!(report.nudges, 0);
+        assert_eq!(report.nudges, config.max_nudges);
+        assert!(report.ticks < config.max_ticks);
     }
 
     #[test]

@@ -42,8 +42,20 @@ fn derive_order_rank(run_seed: u64, index: u64) -> u64 {
     .next_u64()
 }
 
-/// Deterministic routing/enqueue state: event queue, link matrix, parked
-/// drops, and message-class counters.
+/// How a router materializes the link for an ordered agent pair the
+/// first time traffic touches it.
+#[derive(Debug)]
+enum LinkMode {
+    /// Every link follows one policy; its stream seed is a pure function
+    /// of `(run_seed, from, to)`.
+    Lottery(LinkPolicy),
+    /// Links replay an explicit schedule; unscripted calls deliver
+    /// perfectly.
+    Scripted(FaultSchedule),
+}
+
+/// Deterministic routing/enqueue state: event queue, lazily materialized
+/// link table, parked drops, and message-class counters.
 ///
 /// Delivery order is total and deterministic: the queue is keyed by
 /// `(due_tick, link_rank, enqueue_seq)`, where `link_rank` is a
@@ -53,17 +65,25 @@ fn derive_order_rank(run_seed: u64, index: u64) -> u64 {
 /// happened to enqueue them — while two same-tick messages on the *same*
 /// link keep their send order (per-link FIFO; the explicit reordering
 /// window is the only way a link reorders its own traffic).
+///
+/// Links are created on first use rather than as an n×n matrix: a link's
+/// fault stream ([`derive_link_seed`]) and its same-tick rank
+/// (`derive_order_rank`) are pure functions of `(run_seed, from, to)`, so
+/// lazy creation is replay-transparent while keeping memory proportional
+/// to the links actually exercised — for a degree-bounded constraint
+/// graph that is O(agents), not O(agents²).
 #[derive(Debug)]
 pub struct Router<M> {
     /// Event queue keyed by `(due_tick, link_rank, enqueue_seq)` — a
     /// total, deterministic, seed-derived delivery order.
     queue: BTreeMap<(u64, u64, u64), Envelope<M>>,
-    links: Vec<Link>,
-    /// Seed-derived same-tick delivery rank per link.
-    order: Vec<u64>,
+    /// Links touched so far, keyed by `from * n + to`.
+    links: BTreeMap<usize, Link>,
+    mode: LinkMode,
     /// Dropped messages parked per sending agent, in drop order.
-    parked: Vec<Vec<Envelope<M>>>,
+    parked: BTreeMap<usize, Vec<Envelope<M>>>,
     n: usize,
+    run_seed: u64,
     seq: u64,
     ok_messages: u64,
     nogood_messages: u64,
@@ -76,9 +96,7 @@ impl<M: Classify + Clone> Router<M> {
     /// `policy` with its stream derived from `run_seed` via
     /// [`derive_link_seed`].
     pub fn new(n: usize, policy: LinkPolicy, run_seed: u64, record_trace: bool) -> Self {
-        Router::build(n, run_seed, record_trace, |from, to| {
-            Link::new(policy, derive_link_seed(run_seed, from, to))
-        })
+        Router::build(n, run_seed, record_trace, LinkMode::Lottery(policy))
     }
 
     /// Creates a router whose links replay `schedule` exactly: the k-th
@@ -93,31 +111,17 @@ impl<M: Classify + Clone> Router<M> {
         run_seed: u64,
         record_trace: bool,
     ) -> Self {
-        Router::build(n, run_seed, record_trace, |from, to| {
-            Link::scripted(schedule.actions_for(from, to))
-        })
+        Router::build(n, run_seed, record_trace, LinkMode::Scripted(schedule.clone()))
     }
 
-    fn build(
-        n: usize,
-        run_seed: u64,
-        record_trace: bool,
-        mut link: impl FnMut(AgentId, AgentId) -> Link,
-    ) -> Self {
+    fn build(n: usize, run_seed: u64, record_trace: bool, mode: LinkMode) -> Self {
         Router {
             queue: BTreeMap::new(),
-            links: (0..n * n)
-                .map(|index| {
-                    let from = AgentId::new((index / n) as u32);
-                    let to = AgentId::new((index % n) as u32);
-                    link(from, to)
-                })
-                .collect(),
-            order: (0..n * n)
-                .map(|index| derive_order_rank(run_seed, index as u64))
-                .collect(),
-            parked: (0..n).map(|_| Vec::new()).collect(),
+            links: BTreeMap::new(),
+            mode,
+            parked: BTreeMap::new(),
             n,
+            run_seed,
             seq: 0,
             ok_messages: 0,
             nogood_messages: 0,
@@ -134,13 +138,32 @@ impl<M: Classify + Clone> Router<M> {
         from.index() * self.n + to.index()
     }
 
+    /// The link at `index`, materialized on first touch. Creation order
+    /// cannot perturb replay: the link's stream seed is a pure function
+    /// of `(run_seed, from, to)`, not of when the link first saw traffic.
+    fn link_mut(&mut self, index: usize) -> &mut Link {
+        let n = self.n;
+        let run_seed = self.run_seed;
+        let mode = &self.mode;
+        self.links.entry(index).or_insert_with(|| {
+            let from = AgentId::new((index / n) as u32);
+            let to = AgentId::new((index % n) as u32);
+            match mode {
+                LinkMode::Lottery(policy) => {
+                    Link::new(*policy, derive_link_seed(run_seed, from, to))
+                }
+                LinkMode::Scripted(schedule) => Link::scripted(schedule.actions_for(from, to)),
+            }
+        })
+    }
+
     fn enqueue(&mut self, due: u64, link: usize, env: Envelope<M>) {
         match env.payload.class() {
             MessageClass::Ok => self.ok_messages += 1,
             MessageClass::Nogood => self.nogood_messages += 1,
             MessageClass::Other => self.other_messages += 1,
         }
-        let rank = self.order.get(link).copied().unwrap_or(0);
+        let rank = derive_order_rank(self.run_seed, link as u64);
         self.queue.insert((due, rank, self.seq), env);
         self.seq += 1;
     }
@@ -154,14 +177,11 @@ impl<M: Classify + Clone> Router<M> {
     /// [`RuntimeError::UnknownRecipient`] when the envelope addresses an
     /// agent outside the population.
     pub fn route(&mut self, now: u64, env: Envelope<M>) -> Result<(), RuntimeError> {
-        if env.to.index() >= self.n {
+        if env.to.index() >= self.n || env.from.index() >= self.n {
             return Err(RuntimeError::UnknownRecipient { agent: env.to });
         }
         let index = self.link_index(env.from, env.to);
-        let decision = match self.links.get_mut(index) {
-            Some(link) => link.route(now),
-            None => return Err(RuntimeError::UnknownRecipient { agent: env.to }),
-        };
+        let decision = self.link_mut(index).route(now);
         if self.sink.enabled() {
             self.sink.record(TraceEvent::Sent {
                 cycle: now,
@@ -180,9 +200,7 @@ impl<M: Classify + Clone> Router<M> {
             }
         }
         if decision.deliveries.is_empty() {
-            if let Some(bucket) = self.parked.get_mut(env.from.index()) {
-                bucket.push(env);
-            }
+            self.parked.entry(env.from.index()).or_default().push(env);
             return Ok(());
         }
         let mut copies = decision.deliveries.into_iter().peekable();
@@ -204,17 +222,12 @@ impl<M: Classify + Clone> Router<M> {
     /// counters, so none may be dropped on the recovery path.
     pub fn flush_parked(&mut self, now: u64) -> usize {
         let mut flushed = 0;
-        for from in 0..self.n {
-            let bucket = match self.parked.get_mut(from) {
-                Some(b) => std::mem::take(b),
-                None => Vec::new(),
-            };
+        // BTreeMap key order = ascending sender id, the same order the
+        // dense per-sender buckets used to flush in.
+        for (_, bucket) in std::mem::take(&mut self.parked) {
             for env in bucket {
                 let index = self.link_index(env.from, env.to);
-                let (due, faults) = match self.links.get_mut(index) {
-                    Some(link) => link.redeliver(now),
-                    None => (now, Vec::new()),
-                };
+                let (due, faults) = self.link_mut(index).redeliver(now);
                 if self.sink.enabled() {
                     self.sink.record(TraceEvent::Fault {
                         cycle: now,
@@ -290,10 +303,11 @@ impl<M: Classify + Clone> Router<M> {
         self.queue.len() as u64
     }
 
-    /// Fault counters summed over every link.
+    /// Fault counters summed over every link touched so far (untouched
+    /// links have all-zero counters by definition).
     pub fn link_totals(&self) -> LinkStats {
         let mut totals = LinkStats::default();
-        for link in &self.links {
+        for link in self.links.values() {
             totals.absorb(link.stats);
         }
         totals
@@ -304,7 +318,7 @@ impl<M: Classify + Clone> Router<M> {
     /// under the same run seed replays this router's behavior exactly.
     pub fn fault_log(&self) -> FaultSchedule {
         let mut events = Vec::new();
-        for (index, link) in self.links.iter().enumerate() {
+        for (&index, link) in self.links.iter() {
             let from = AgentId::new((index / self.n) as u32);
             let to = AgentId::new((index % self.n) as u32);
             for &(call, action) in link.fault_log() {

@@ -54,6 +54,10 @@ pub enum RuntimeKind {
     /// The multi-session solve service (`discsp-service`), which drives
     /// many session state machines over one scheduler.
     Service,
+    /// The M:N sharded event-loop executor (`run_sharded`), which runs
+    /// the virtual-time semantics with worker threads owning per-shard
+    /// agent arenas.
+    Sharded,
 }
 
 impl RuntimeKind {
@@ -65,6 +69,7 @@ impl RuntimeKind {
             RuntimeKind::Async => "async",
             RuntimeKind::Net => "net",
             RuntimeKind::Service => "service",
+            RuntimeKind::Sharded => "sharded",
         }
     }
 }

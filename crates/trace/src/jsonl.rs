@@ -510,6 +510,7 @@ fn event_from_object(obj: &BTreeMap<String, Json>) -> Result<TraceEvent, String>
                 "async" => RuntimeKind::Async,
                 "net" => RuntimeKind::Net,
                 "service" => RuntimeKind::Service,
+                "sharded" => RuntimeKind::Sharded,
                 other => return Err(format!("unknown runtime \"{other}\"")),
             };
             Ok(TraceEvent::RunEnd {

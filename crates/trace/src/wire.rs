@@ -45,6 +45,7 @@ impl Wire for RuntimeKind {
             RuntimeKind::Async => 2,
             RuntimeKind::Net => 3,
             RuntimeKind::Service => 4,
+            RuntimeKind::Sharded => 5,
         };
         out.push(tag);
     }
@@ -56,6 +57,7 @@ impl Wire for RuntimeKind {
             2 => Ok(RuntimeKind::Async),
             3 => Ok(RuntimeKind::Net),
             4 => Ok(RuntimeKind::Service),
+            5 => Ok(RuntimeKind::Sharded),
             tag => Err(WireError::BadTag {
                 context: "RuntimeKind",
                 tag,

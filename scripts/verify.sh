@@ -31,6 +31,9 @@ cargo run --release --offline -q -p discsp-trace -- audit "$soak_traces"/*.jsonl
 echo "==> explore smoke (fault-schedule campaign, fixed seed, all algorithms)"
 cargo run --release --offline -q -p discsp-explore -- --algo all --trials 200 --seed 1
 
+echo "==> explore smoke on the sharded executor (100 schedules, 4 workers)"
+cargo run --release --offline -q -p discsp-explore -- --algo awc-rslv --trials 100 --seed 1 --sharded 4
+
 echo "==> service smoke (discsp-load fixed-seed matrix; every session trace re-audited)"
 service_traces="target/service-traces"
 rm -rf "$service_traces"
@@ -50,5 +53,12 @@ bench_out=$(DISCSP_BENCH_SMOKE=1 cargo bench --offline -p discsp-bench --bench n
 echo "$bench_out" | grep -q "benchmarks completed" \
   || { echo "$bench_out"; echo "bench smoke: missing completion marker"; exit 1; }
 echo "$bench_out" | tail -3
+
+echo "==> scale smoke (sharded executor, 10^4 agents; snapshot untouched)"
+scale_out=$(DISCSP_BENCH_SMOKE=1 cargo bench --offline -p discsp-bench --bench scale 2>&1) \
+  || { echo "$scale_out"; echo "scale smoke: FAILED"; exit 1; }
+echo "$scale_out" | grep -q "benchmarks completed" \
+  || { echo "$scale_out"; echo "scale smoke: missing completion marker"; exit 1; }
+echo "$scale_out" | tail -4
 
 echo "verify: OK"

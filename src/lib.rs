@@ -78,7 +78,8 @@ pub mod prelude {
         read_dimacs, write_col, write_dimacs,
     };
     pub use discsp_runtime::{
-        AsyncConfig, LinkPolicy, SyncRun, SyncSimulator, VirtualConfig, PPM,
+        AsyncConfig, LinkPolicy, ShardConfig, SplitMix64, SyncRun, SyncSimulator, VirtualConfig,
+        PPM,
     };
     pub use discsp_trace::{audit, parse_trace, summarize, TraceEvent};
 }
